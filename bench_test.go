@@ -1,0 +1,163 @@
+// Package repro's root benchmark suite regenerates every table and
+// figure of the paper's evaluation, one testing.B benchmark per
+// artifact (see the per-experiment index in DESIGN.md). The benchmarks
+// run the experiments in quick mode so `go test -bench=.` completes in
+// minutes; `cmd/experiments` runs the full-size versions.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fairness"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+	"repro/internal/synth"
+)
+
+const benchSeed = 1
+
+func BenchmarkFig3Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(fairness.FPR, benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTradeoff(b *testing.B, ds string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tradeoff(ds, benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Adult(b *testing.B)      { benchTradeoff(b, "adult") }
+func BenchmarkFig5LawSchool(b *testing.B)  { benchTradeoff(b, "lawschool") }
+func BenchmarkFig6ProPublica(b *testing.B) { benchTradeoff(b, "propublica") }
+
+func BenchmarkFig7VaryTau(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7("propublica", benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8VaryT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8("propublica", benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9aIdentifyByAttrs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9a(benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9bRemedyByAttrs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9b(benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9cIdentifyBySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9c(benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9dRemedyBySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9d(benchSeed, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------
+// These isolate the primitives behind the figures: the naïve vs
+// optimized identification gap (Fig. 9a's mechanism), the remedy
+// techniques (Fig. 9b/9d), and the shared counting substrate.
+
+func benchData(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	return synth.CompasN(6172, benchSeed)
+}
+
+func BenchmarkIdentifyNaive(b *testing.B) {
+	d := benchData(b)
+	cfg := core.Config{TauC: 0.1, T: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IdentifyNaive(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdentifyOptimized(b *testing.B) {
+	d := benchData(b)
+	cfg := core.Config{TauC: 0.1, T: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IdentifyOptimized(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemedy(b *testing.B) {
+	d := benchData(b)
+	for _, tech := range remedy.Techniques {
+		b.Run(string(tech), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := remedy.Apply(d, remedy.Options{
+					Identify:  core.Config{TauC: 0.1, T: 1},
+					Technique: tech,
+					Seed:      benchSeed,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClassifiers(b *testing.B) {
+	d := synth.CompasN(3000, benchSeed)
+	for _, kind := range ml.AllModels {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.Train(d, ml.NewClassifier(kind, benchSeed)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

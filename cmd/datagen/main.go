@@ -1,0 +1,70 @@
+// Command datagen emits the synthetic evaluation datasets as CSV files
+// so they can be inspected, versioned, or fed back through remedyctl.
+//
+// Usage:
+//
+//	datagen -dataset propublica -out compas.csv
+//	datagen -dataset adult -n 10000 -seed 7 -out adult.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func main() {
+	name := flag.String("dataset", "propublica", "dataset: propublica, adult, or lawschool")
+	n := flag.Int("n", 0, "row count (0 = the paper's size)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	describe := flag.Bool("describe", false, "print per-attribute distributions instead of CSV")
+	flag.Parse()
+
+	var d *dataset.Dataset
+	switch *name {
+	case "propublica":
+		size := synth.CompasSize
+		if *n > 0 {
+			size = *n
+		}
+		d = synth.CompasN(size, *seed)
+	case "adult":
+		size := synth.AdultSize
+		if *n > 0 {
+			size = *n
+		}
+		d = synth.AdultN(size, *seed)
+	case "lawschool":
+		size := synth.LawSchoolSize
+		if *n > 0 {
+			size = *n
+		}
+		d = synth.LawSchoolN(size, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+	if *describe {
+		if err := d.WriteDescription(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		if err := d.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := d.WriteCSVFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, d)
+}

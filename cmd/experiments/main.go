@@ -1,0 +1,252 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	experiments -run all            # everything (slow: full-size data)
+//	experiments -run fig3,tab3      # a subset
+//	experiments -run fig4 -quick    # reduced data sizes
+//	experiments -list               # show available experiment ids
+//
+// Experiment ids: tab2, fig3, fig4, fig5, fig6, fig7, fig8, tab3,
+// fig9a, fig9b, fig9c, fig9d, plus the extensions robust (multi-seed
+// mean±std), ablate (engineering ablations), and cost (§VI
+// cost-sensitive limitation probe). Use -format markdown|csv and
+// -out <dir> to persist tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fairness"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(seed int64, quick bool) ([]*experiments.Table, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"tab2", "Table II: dataset characteristics", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			t, err := experiments.TableII(seed, quick)
+			return []*experiments.Table{t}, err
+		}},
+		{"fig3", "Fig. 3: unfair subgroups vs IBS (ProPublica)", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, stat := range []fairness.Statistic{fairness.FPR, fairness.FNR} {
+				r, err := experiments.Fig3(stat, seed, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r.Table())
+			}
+			return out, nil
+		}},
+		{"fig4", "Fig. 4: fairness-accuracy trade-off (Adult)", tradeoff("adult")},
+		{"fig5", "Fig. 5: fairness-accuracy trade-off (Law School)", tradeoff("lawschool")},
+		{"fig6", "Fig. 6: fairness-accuracy trade-off (ProPublica)", tradeoff("propublica")},
+		{"fig7", "Fig. 7: varying τ_c (ProPublica, Adult)", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, ds := range []string{"propublica", "adult"} {
+				r, err := experiments.Fig7(ds, seed, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r.Table())
+			}
+			return out, nil
+		}},
+		{"fig8", "Fig. 8: T=1 vs T=|X| (ProPublica, Adult)", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, ds := range []string{"propublica", "adult"} {
+				r, err := experiments.Fig8(ds, seed, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r.Table())
+			}
+			return out, nil
+		}},
+		{"tab3", "Table III: baseline comparison (Adult, X={race,gender}, LG)", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Table3(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig9a", "Fig. 9a: identification runtime vs |X|", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Fig9a(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig9b", "Fig. 9b: remedy runtime vs |X|", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Fig9b(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig9c", "Fig. 9c: identification runtime vs data size", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Fig9c(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"fig9d", "Fig. 9d: remedy runtime vs data size", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Fig9d(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"robust", "Extension: multi-seed mean±std of the headline comparison", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, ds := range []string{"propublica", "adult"} {
+				r, err := experiments.Robustness(ds, []int64{seed, seed + 1, seed + 2, seed + 3, seed + 4}, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r.Table())
+			}
+			return out, nil
+		}},
+		{"parity", "Extension: §VI statistical parity before/after remedy", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Parity(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{r.Table()}, nil
+		}},
+		{"ablate", "Extension: engineering ablations (incremental counts, parallel identify, one-shot remedy)", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			r, err := experiments.Ablations(seed, quick)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"cost", "Extension: §VI limitation probe — remedy under cost-sensitive thresholds", func(seed int64, quick bool) ([]*experiments.Table, error) {
+			var out []*experiments.Table
+			for _, ds := range []string{"propublica", "adult"} {
+				r, err := experiments.Limitations(ds, seed, quick)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r.Table())
+			}
+			return out, nil
+		}},
+	}
+}
+
+func tradeoff(ds string) func(int64, bool) ([]*experiments.Table, error) {
+	return func(seed int64, quick bool) ([]*experiments.Table, error) {
+		r, err := experiments.Tradeoff(ds, seed, quick)
+		if err != nil {
+			return nil, err
+		}
+		return r.Tables(), nil
+	}
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	quick := flag.Bool("quick", false, "reduced data sizes for a fast pass")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	formatFlag := flag.String("format", "text", "output format: text, markdown, csv")
+	outDir := flag.String("out", "", "also write each experiment's tables to <out>/<id>.<ext>")
+	flag.Parse()
+
+	format, err := experiments.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-6s %s\n", r.id, r.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, r := range rs {
+		if *runFlag != "all" && !want[r.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s: %s ==\n", r.id, r.desc)
+		start := time.Now()
+		tables, err := r.run(*seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.RenderAs(os.Stdout, format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if *outDir != "" {
+			if err := writeTables(*outDir, r.id, tables, format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", r.id, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q; use -list\n", *runFlag)
+		os.Exit(1)
+	}
+}
+
+// writeTables persists one experiment's tables under dir, one file per
+// experiment id with every table concatenated.
+func writeTables(dir, id string, tables []*experiments.Table, format experiments.Format) error {
+	ext := map[experiments.Format]string{
+		experiments.FormatText:     "txt",
+		experiments.FormatMarkdown: "md",
+		experiments.FormatCSV:      "csv",
+	}[format]
+	f, err := os.Create(filepath.Join(dir, id+"."+ext))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, t := range tables {
+		if err := t.RenderAs(f, format); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,259 @@
+// Command remedyctl runs the paper's pipeline end-to-end on a CSV
+// dataset: identify the Implicit Biased Set, remedy it with a chosen
+// pre-processing technique, and audit a downstream classifier before
+// and after.
+//
+// Usage:
+//
+//	# Identify the IBS of a CSV (label column "two_year_recid",
+//	# protected attributes age/race/sex):
+//	remedyctl -mode identify -input compas.csv -target two_year_recid \
+//	    -protected age,race,sex -tauc 0.1
+//
+//	# Remedy and write the repaired training data:
+//	remedyctl -mode remedy -input compas.csv -target two_year_recid \
+//	    -protected age,race,sex -technique PS -output repaired.csv
+//
+//	# Full audit: train a classifier on original vs remedied data and
+//	# compare fairness indices on a held-out split:
+//	remedyctl -mode audit -input compas.csv -target two_year_recid \
+//	    -protected age,race,sex -model DT
+//
+//	# Attribute the unfairness of the worst subgroups to their items
+//	# (Shapley values over sub-patterns):
+//	remedyctl -mode attribute -dataset propublica -model DT
+//
+// Without -input, -dataset selects a built-in synthetic dataset.
+// -mode identify accepts -tree for a Fig. 1-style hierarchy view, and
+// -mode audit accepts -save-model to export the trained model as JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/divexplorer"
+	"repro/internal/experiments"
+	"repro/internal/fairness"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "audit", "identify | remedy | audit | attribute")
+		input     = flag.String("input", "", "input CSV (header row; label column 0/1)")
+		target    = flag.String("target", "", "label column name (required with -input)")
+		protected = flag.String("protected", "", "comma-separated protected attribute names (required with -input)")
+		dsName    = flag.String("dataset", "propublica", "built-in dataset when -input is absent")
+		tauC      = flag.Float64("tauc", 0.1, "imbalance threshold τ_c")
+		tFlag     = flag.Int("T", 1, "neighboring-region distance threshold")
+		k         = flag.Int("k", core.DefaultMinSize, "minimum region size")
+		scopeFlag = flag.String("scope", "lattice", "identification scope: lattice | leaf | top")
+		tech      = flag.String("technique", "PS", "remedy technique: PS | US | DP | MS")
+		model     = flag.String("model", "DT", "downstream model for audit: DT | RF | LG | NN")
+		output    = flag.String("output", "", "output CSV for -mode remedy")
+		saveModel = flag.String("save-model", "", "in audit mode, save the remedied-data model as JSON")
+		tree      = flag.Bool("tree", false, "in identify mode, render the hierarchy view instead of a flat table")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	d, err := load(*input, *target, *protected, *dsName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	scope, err := parseScope(*scopeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{TauC: *tauC, T: *tFlag, MinSize: *k, Scope: scope}
+	technique, err := remedy.ParseTechnique(*tech)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "identify":
+		err = runIdentify(d, cfg, *tree)
+	case "remedy":
+		err = runRemedy(d, cfg, technique, *output, *seed)
+	case "audit":
+		err = runAudit(d, cfg, technique, ml.ModelKind(*model), *saveModel, *seed)
+	case "attribute":
+		err = runAttribute(d, ml.ModelKind(*model), *seed)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "remedyctl:", err)
+	os.Exit(1)
+}
+
+func load(input, target, protected, dsName string, seed int64) (*dataset.Dataset, error) {
+	if input == "" {
+		spec, err := experiments.LoadDataset(dsName, seed, false)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("using built-in %s: %s\n", spec.Name, spec.Data)
+		return spec.Data, nil
+	}
+	if target == "" || protected == "" {
+		return nil, fmt.Errorf("-input requires -target and -protected")
+	}
+	d, err := dataset.ReadCSVFile(input, target, strings.Split(protected, ","))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded %s: %s\n", input, d)
+	return d, nil
+}
+
+func parseScope(s string) (core.Scope, error) {
+	switch strings.ToLower(s) {
+	case "lattice":
+		return core.Lattice, nil
+	case "leaf":
+		return core.Leaf, nil
+	case "top":
+		return core.Top, nil
+	}
+	return 0, fmt.Errorf("unknown scope %q", s)
+}
+
+func runIdentify(d *dataset.Dataset, cfg core.Config, tree bool) error {
+	res, err := core.IdentifyOptimized(d, cfg)
+	if err != nil {
+		return err
+	}
+	if tree {
+		return res.RenderTree(os.Stdout)
+	}
+	fmt.Printf("IBS: %d biased regions (τ_c=%v, T=%d, k=%d, scope=%s)\n",
+		len(res.Regions), cfg.TauC, cfg.T, cfg.MinSize, cfg.Scope)
+	tab := &experiments.Table{
+		Columns: []string{"Region", "|r|", "|r+|", "|r-|", "ratio_r", "ratio_rn", "gap"},
+	}
+	for _, r := range res.Regions {
+		tab.Rows = append(tab.Rows, []string{
+			res.Space.String(r.Pattern),
+			fmt.Sprint(r.Counts.N), fmt.Sprint(r.Counts.Pos), fmt.Sprint(r.Counts.Neg()),
+			fmt.Sprintf("%.3f", r.Ratio), fmt.Sprintf("%.3f", r.NeighborRatio),
+			fmt.Sprintf("%.3f", r.Gap()),
+		})
+	}
+	return tab.Render(os.Stdout)
+}
+
+// runAttribute trains a model, finds its most divergent subgroups, and
+// prints the Shapley attribution of each one's divergence to its
+// pattern items.
+func runAttribute(d *dataset.Dataset, kind ml.ModelKind, seed int64) error {
+	train, test := d.StratifiedSplit(0.7, seed)
+	m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+	if err != nil {
+		return err
+	}
+	preds := m.Predict(test)
+	rep, err := divexplorer.Explore(test, preds, fairness.FPR, divexplorer.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overall FPR %.3f; attributing the top unfair subgroups:\n", rep.Overall)
+	for _, g := range rep.TopK(5) {
+		contribs, err := rep.ShapleyAttribution(test, preds, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s  FPR=%.3f Δ=%.3f support=%.2f\n",
+			rep.Space.String(g.Pattern), g.Value, g.Divergence, g.Support)
+		for _, c := range contribs {
+			fmt.Printf("  %-24s φ=%.3f\n", c.Item, c.Phi)
+		}
+	}
+	return nil
+}
+
+func runRemedy(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, output string, seed int64) error {
+	out, rep, err := remedy.Apply(d, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remedied %d biased regions with %s: +%d duplicated, -%d removed, %d relabeled\n",
+		rep.BiasedRegions, rep.Technique.Name(), rep.Added, rep.Removed, rep.Flipped)
+	fmt.Printf("dataset: %d -> %d instances\n", d.Len(), out.Len())
+	if output == "" {
+		return nil
+	}
+	if err := out.WriteCSVFile(output); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", output)
+	return nil
+}
+
+func runAudit(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, kind ml.ModelKind, saveModel string, seed int64) error {
+	train, test := d.StratifiedSplit(0.7, seed)
+	fmt.Printf("split: %d train / %d test; model %s\n", train.Len(), test.Len(), kind)
+
+	var lastClf ml.Classifier
+	show := func(label string, tr *dataset.Dataset) error {
+		clf := ml.NewClassifier(kind, seed)
+		m, err := ml.Train(tr, clf)
+		if err != nil {
+			return err
+		}
+		lastClf = clf
+		preds := m.Predict(test)
+		ev, err := experiments.Score(test, preds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s accuracy=%.3f index(FPR)=%.3f index(FNR)=%.3f violation=%.4f\n",
+			label, ev.Accuracy, ev.IndexFPR, ev.IndexFNR, ev.Violation)
+		rep, err := divexplorer.Explore(test, preds, fairness.FPR, divexplorer.Options{})
+		if err != nil {
+			return err
+		}
+		unfair := rep.Unfair(0.1)
+		limit := 5
+		if len(unfair) < limit {
+			limit = len(unfair)
+		}
+		for _, g := range unfair[:limit] {
+			fmt.Printf("          unfair %s: FPR=%.3f (overall %.3f, Δ=%.3f, support %.2f)\n",
+				rep.Space.String(g.Pattern), g.Value, rep.Overall, g.Divergence, g.Support)
+		}
+		return nil
+	}
+
+	if err := show("original", train); err != nil {
+		return err
+	}
+	remedied, rep, err := remedy.Apply(train, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remedy: %d biased regions, +%d/-%d/%d flips (%s)\n",
+		rep.BiasedRegions, rep.Added, rep.Removed, rep.Flipped, rep.Technique.Name())
+	if err := show("remedied", remedied); err != nil {
+		return err
+	}
+	if saveModel != "" {
+		if err := ml.SaveFile(saveModel, lastClf); err != nil {
+			return err
+		}
+		fmt.Printf("saved remedied-data model to %s\n", saveModel)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestParseScope(t *testing.T) {
+	cases := map[string]core.Scope{
+		"lattice": core.Lattice,
+		"Leaf":    core.Leaf,
+		"TOP":     core.Top,
+	}
+	for in, want := range cases {
+		got, err := parseScope(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScope(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScope("sideways"); err == nil {
+		t.Fatal("unknown scope must error")
+	}
+}
+
+func TestLoadBuiltin(t *testing.T) {
+	d, err := load("", "", "", "propublica", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != synth.CompasSize {
+		t.Fatalf("rows = %d", d.Len())
+	}
+	if _, err := load("", "", "", "bogus", 1); err == nil {
+		t.Fatal("unknown builtin must error")
+	}
+}
+
+func TestLoadCSVRequiresFlags(t *testing.T) {
+	if _, err := load("some.csv", "", "", "", 1); err == nil {
+		t.Fatal("-input without -target/-protected must error")
+	}
+}
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "compas.csv")
+	d := synth.CompasN(500, 2)
+	if err := d.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path, "two_year_recid", "age,race,sex", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 500 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	if len(got.Schema.ProtectedIdx()) != 3 {
+		t.Fatal("protected attributes not applied")
+	}
+}
+
+func TestRunIdentifyAndRemedy(t *testing.T) {
+	// The command handlers write to stdout; silence them through a pipe
+	// to keep test output clean while exercising the full paths.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	d := synth.CompasN(2000, 3)
+	cfg := core.Config{TauC: 0.1, T: 1}
+	if err := runIdentify(d, cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runIdentify(d, cfg, true); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "repaired.csv")
+	if err := runRemedy(d, cfg, "MS", out, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("remedy output not written: %v", err)
+	}
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	if err := runAudit(d, cfg, "PS", "DT", modelPath, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not saved: %v", err)
+	}
+}

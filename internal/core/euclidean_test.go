@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestEuclideanConfig(t *testing.T) {
+	d := biasedData(t)
+	// Negative radius is invalid.
+	if _, err := IdentifyNaive(d, Config{TauC: 0.2, T: 1, EuclideanT: -1}); err == nil {
+		t.Fatal("negative Euclidean radius must error")
+	}
+	// Radius 1 under the refined metric still finds the injected
+	// region (its priors/age neighbors are adjacent buckets).
+	res := mustIdentify(t, IdentifyNaive, d, Config{TauC: 0.25, T: 1, EuclideanT: 1})
+	want, _ := res.Space.Parse("age", "25-45", "priors", ">3")
+	if !res.Contains(want) {
+		t.Fatal("Euclidean radius-1 identification missed the injected region")
+	}
+	// The optimized entry point must transparently fall back.
+	viaOpt := mustIdentify(t, IdentifyOptimized, d, Config{TauC: 0.25, T: 1, EuclideanT: 1})
+	assertSameRegions(t, res, viaOpt)
+}
+
+func TestEuclideanLargerRadiusSeesMore(t *testing.T) {
+	d := biasedData(t)
+	small := mustIdentify(t, IdentifyNaive, d, Config{TauC: 0.25, T: 1, EuclideanT: 1})
+	large := mustIdentify(t, IdentifyNaive, d, Config{TauC: 0.25, T: 1, EuclideanT: 3})
+	// A larger ball aggregates more neighbors per region.
+	if large.NeighborOps <= small.NeighborOps {
+		t.Fatalf("radius 3 ops %d <= radius 1 ops %d", large.NeighborOps, small.NeighborOps)
+	}
+}

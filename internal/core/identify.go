@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/pattern"
+)
+
+// IdentifyNaive runs the naïve IBS identification of §III-A: for every
+// candidate region it enumerates all neighbors within distance T —
+// (c-1)·d·T regions — and computes each neighbor's counts separately by
+// scanning the dataset, with no result reuse across regions. This is
+// the repeated work the optimized algorithm eliminates (§III-B): the
+// hierarchy construction and size filter (Algorithm 1 lines 1-2) are
+// shared, but neighbor aggregates are recomputed per region.
+func IdentifyNaive(d *dataset.Dataset, cfg Config) (*Result, error) {
+	h, err := NewHierarchy(d)
+	if err != nil {
+		return nil, err
+	}
+	return h.IdentifyNaive(cfg)
+}
+
+// IdentifyNaive is the method form operating on an existing hierarchy,
+// reusing its memoized node tables.
+func (h *Hierarchy) IdentifyNaive(cfg Config) (*Result, error) {
+	if err := cfg.validate(h.Space); err != nil {
+		return nil, err
+	}
+	res := &Result{Space: h.Space, Config: cfg}
+	k := cfg.minSize()
+	for _, mask := range h.masksForScope(cfg.Scope) {
+		node := h.Node(mask)
+		h.Space.EnumerateNode(mask, func(p pattern.Pattern) {
+			rc := node[h.Space.Key(p)]
+			if rc.N <= k {
+				return
+			}
+			res.Explored++
+			var nc pattern.Counts
+			visit := func(q pattern.Pattern) {
+				// Count the neighbor from scratch — the naïve
+				// algorithm's separate, repeated computation.
+				c := h.Space.CountPattern(h.Data, q)
+				nc.N += c.N
+				nc.Pos += c.Pos
+				res.NeighborOps++
+			}
+			switch {
+			case cfg.EuclideanT > 0:
+				h.Space.NeighborsEuclidean(p, cfg.EuclideanT, visit)
+			case cfg.OrderedDistance:
+				h.Space.NeighborsOrdered(p, visit)
+			default:
+				h.Space.Neighbors(p, cfg.T, visit)
+			}
+			appendIfBiased(res, p, rc, nc, cfg.TauC)
+		})
+	}
+	h.sortRegions(res.Regions)
+	return res, nil
+}
+
+// IdentifyOptimized runs Algorithm 1 (§III-B): neighborhood counts are
+// derived from the d·T dominating regions T levels up, whose counts are
+// computed once per node and shared across the node's regions. It is
+// exact for T = 1 (the identity Σ_{R_d} counts − |R_d|·counts(r) equals
+// the direct neighbor sum) and for T ≥ d (where the neighboring region
+// is all siblings: dataset totals minus the region). For intermediate T
+// the paper's formula weights nearer neighbors more heavily; the paper
+// evaluates only T = 1 and T = |X|.
+func IdentifyOptimized(d *dataset.Dataset, cfg Config) (*Result, error) {
+	h, err := NewHierarchy(d)
+	if err != nil {
+		return nil, err
+	}
+	return h.IdentifyOptimized(cfg)
+}
+
+// IdentifyOptimized is the method form operating on an existing
+// hierarchy.
+func (h *Hierarchy) IdentifyOptimized(cfg Config) (*Result, error) {
+	if err := cfg.validate(h.Space); err != nil {
+		return nil, err
+	}
+	if cfg.OrderedDistance || cfg.EuclideanT > 0 {
+		// The dominating-region identity assumes the basic
+		// unit-distance setting; fall back to the naïve traversal.
+		return h.IdentifyNaive(cfg)
+	}
+	if cfg.Workers > 1 {
+		return h.identifyOptimizedParallel(cfg)
+	}
+	res := &Result{Space: h.Space, Config: cfg}
+	for _, mask := range h.masksForScope(cfg.Scope) {
+		h.scanNodeOptimized(mask, cfg, res)
+	}
+	h.sortRegions(res.Regions)
+	return res, nil
+}
+
+// identifyOptimizedParallel preloads every node table with a sharded
+// counting pass and scans the nodes concurrently. After Preload the
+// tables are read-only, so the per-node scans share them without
+// synchronization; each goroutine accumulates into a private Result and
+// the shards merge deterministically.
+func (h *Hierarchy) identifyOptimizedParallel(cfg Config) (*Result, error) {
+	h.Preload(cfg.Workers)
+	masks := h.masksForScope(cfg.Scope)
+	shards := make([]*Result, len(masks))
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, mask := range masks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, mask uint32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shard := &Result{Space: h.Space, Config: cfg}
+			h.scanNodeOptimized(mask, cfg, shard)
+			shards[i] = shard
+		}(i, mask)
+	}
+	wg.Wait()
+	res := &Result{Space: h.Space, Config: cfg}
+	for _, shard := range shards {
+		res.Regions = append(res.Regions, shard.Regions...)
+		res.Explored += shard.Explored
+		res.NeighborOps += shard.NeighborOps
+	}
+	h.sortRegions(res.Regions)
+	return res, nil
+}
+
+// scanNodeOptimized runs the optimized per-node identification (lines
+// 4-12 of Algorithm 1) for one hierarchy node, appending biased regions
+// to res.
+func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result) {
+	node := h.Node(mask)
+	k := cfg.minSize()
+	d := levelOf(mask)
+	T := cfg.T
+	if T > d {
+		T = d
+	}
+	h.Space.EnumerateNode(mask, func(p pattern.Pattern) {
+		rc := node[h.Space.Key(p)]
+		if rc.N <= k {
+			return
+		}
+		res.Explored++
+		nc := h.neighborViaDominating(p, rc, T, res)
+		appendIfBiased(res, p, rc, nc, cfg.TauC)
+	})
+}
+
+// BiasedRegionsInNode identifies the biased regions of a single
+// hierarchy node with the optimized algorithm — the GETBIASEDREGIONS
+// step of Algorithm 2, which the remedy loop re-runs per node against
+// the evolving dataset.
+func (h *Hierarchy) BiasedRegionsInNode(mask uint32, cfg Config) ([]Region, error) {
+	if err := cfg.validate(h.Space); err != nil {
+		return nil, err
+	}
+	res := &Result{Space: h.Space, Config: cfg}
+	h.scanNodeOptimized(mask, cfg, res)
+	h.sortRegions(res.Regions)
+	return res.Regions, nil
+}
+
+// MasksForScope exposes the bottom-up node traversal order of the
+// given scope for callers (the remedy driver) that walk the hierarchy
+// themselves.
+func (h *Hierarchy) MasksForScope(s Scope) []uint32 { return h.masksForScope(s) }
+
+// neighborViaDominating computes the neighboring-region counts of p via
+// the set R_d of dominating regions T levels up (line 9-10 of
+// Algorithm 1): remove T deterministic elements in every possible way,
+// sum the ancestors' counts, and subtract the |R_d|-fold over-count of
+// the region itself.
+func (h *Hierarchy) neighborViaDominating(p pattern.Pattern, rc pattern.Counts, T int, res *Result) pattern.Counts {
+	d := p.Level()
+	if T >= d {
+		// R_d = {level-0 root}: the neighboring region is every sibling,
+		// i.e. the dataset totals minus the region.
+		res.NeighborOps++
+		tot := h.Totals()
+		return pattern.Counts{N: tot.N - rc.N, Pos: tot.Pos - rc.Pos}
+	}
+	var sum pattern.Counts
+	size := 0
+	h.ancestorsTLevelsUp(p, T, func(q pattern.Pattern) {
+		c := h.Node(q.Mask())[h.Space.Key(q)]
+		sum.N += c.N
+		sum.Pos += c.Pos
+		size++
+		res.NeighborOps++
+	})
+	return pattern.Counts{N: sum.N - size*rc.N, Pos: sum.Pos - size*rc.Pos}
+}
+
+// ancestorsTLevelsUp calls f for each pattern obtained from p by
+// removing exactly T deterministic elements. For T = 1 this is
+// Space.Parents.
+func (h *Hierarchy) ancestorsTLevelsUp(p pattern.Pattern, T int, f func(pattern.Pattern)) {
+	if T == 1 {
+		h.Space.Parents(p, f)
+		return
+	}
+	slots := make([]int, 0, len(p))
+	for i, v := range p {
+		if v != pattern.Wildcard {
+			slots = append(slots, i)
+		}
+	}
+	q := p.Clone()
+	var choose func(start, remaining int)
+	choose = func(start, remaining int) {
+		if remaining == 0 {
+			f(q)
+			return
+		}
+		for k := start; k <= len(slots)-remaining; k++ {
+			s := slots[k]
+			q[s] = pattern.Wildcard
+			choose(k+1, remaining-1)
+			q[s] = p[s]
+		}
+	}
+	choose(0, T)
+}
+
+// appendIfBiased applies Def. 5: the region joins the IBS when
+// |ratio_r − ratio_rn| > τ_c. The −1 sentinel of Def. 3 (no negative
+// instances) participates numerically, as in the paper: an all-positive
+// region next to a balanced neighborhood is maximally suspicious.
+func appendIfBiased(res *Result, p pattern.Pattern, rc, nc pattern.Counts, tauC float64) {
+	ratio := rc.Ratio()
+	nratio := nc.Ratio()
+	if math.Abs(ratio-nratio) > tauC {
+		res.Regions = append(res.Regions, Region{
+			Pattern:        p.Clone(),
+			Counts:         rc,
+			Ratio:          ratio,
+			NeighborCounts: nc,
+			NeighborRatio:  nratio,
+		})
+	}
+}

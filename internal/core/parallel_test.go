@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestParallelIdentifyMatchesSequential(t *testing.T) {
+	d := synth.CompasN(4000, 17)
+	for _, workers := range []int{2, 4, 8} {
+		seq := mustIdentify(t, IdentifyOptimized, d, Config{TauC: 0.1, T: 1})
+		par := mustIdentify(t, IdentifyOptimized, d, Config{TauC: 0.1, T: 1, Workers: workers})
+		assertSameRegions(t, seq, par)
+		if seq.Explored != par.Explored || seq.NeighborOps != par.NeighborOps {
+			t.Fatalf("workers=%d: work counters differ (%d/%d vs %d/%d)",
+				workers, seq.Explored, seq.NeighborOps, par.Explored, par.NeighborOps)
+		}
+	}
+}
+
+func TestParallelIdentifyScopes(t *testing.T) {
+	d := synth.CompasN(3000, 19)
+	for _, scope := range []Scope{Lattice, Leaf, Top} {
+		seq := mustIdentify(t, IdentifyOptimized, d, Config{TauC: 0.1, T: 1, Scope: scope})
+		par := mustIdentify(t, IdentifyOptimized, d, Config{TauC: 0.1, T: 1, Scope: scope, Workers: 4})
+		assertSameRegions(t, seq, par)
+	}
+}
+
+func TestPreloadMatchesLazyTables(t *testing.T) {
+	d := synth.CompasN(2000, 23)
+	lazy, err := NewHierarchy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := NewHierarchy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager.Preload(4)
+	for _, mask := range lazy.MasksForScope(Lattice) {
+		a := lazy.Node(mask)
+		b := eager.Node(mask)
+		if len(a) != len(b) {
+			t.Fatalf("mask %b: %d vs %d entries", mask, len(a), len(b))
+		}
+		for k, c := range a {
+			if b[k] != c {
+				t.Fatalf("mask %b key %d: %+v vs %+v", mask, k, c, b[k])
+			}
+		}
+	}
+	if lazy.Totals() != eager.Totals() {
+		t.Fatal("totals differ")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders identification results for human consumption: a
+// Fig. 1-style view of the hierarchy grouping the biased regions by
+// node (deterministic-attribute set), plus per-level summaries.
+
+// NodeSummary aggregates the biased regions of one hierarchy node.
+type NodeSummary struct {
+	Mask   uint32
+	Attrs  []string // deterministic attribute names of the node
+	Level  int
+	Biased []Region
+}
+
+// Nodes groups the result's regions by hierarchy node, ordered leaf
+// level first (matching the bottom-up traversal) and by mask within a
+// level.
+func (res *Result) Nodes() []NodeSummary {
+	byMask := map[uint32]*NodeSummary{}
+	for _, r := range res.Regions {
+		mask := r.Pattern.Mask()
+		ns := byMask[mask]
+		if ns == nil {
+			ns = &NodeSummary{Mask: mask, Level: r.Pattern.Level()}
+			for i, name := range res.Space.Names {
+				if mask&(1<<uint(i)) != 0 {
+					ns.Attrs = append(ns.Attrs, name)
+				}
+			}
+			byMask[mask] = ns
+		}
+		ns.Biased = append(ns.Biased, r)
+	}
+	out := make([]NodeSummary, 0, len(byMask))
+	for _, ns := range byMask {
+		out = append(out, *ns)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level > out[j].Level
+		}
+		return out[i].Mask < out[j].Mask
+	})
+	return out
+}
+
+// BiasedByLevel counts the biased regions per hierarchy level.
+func (res *Result) BiasedByLevel() map[int]int {
+	out := map[int]int{}
+	for _, r := range res.Regions {
+		out[r.Pattern.Level()]++
+	}
+	return out
+}
+
+// RenderTree writes the hierarchy view: one block per node with its
+// biased regions and their imbalance evidence.
+func (res *Result) RenderTree(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Implicit Biased Set over {%s}: %d regions (τ_c=%v, T=%d, scope=%s)\n",
+		strings.Join(res.Space.Names, ", "), len(res.Regions),
+		res.Config.TauC, res.Config.T, res.Config.Scope); err != nil {
+		return err
+	}
+	byLevel := res.BiasedByLevel()
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	for _, l := range levels {
+		if _, err := fmt.Fprintf(w, "  level %d: %d biased regions\n", l, byLevel[l]); err != nil {
+			return err
+		}
+	}
+	for _, node := range res.Nodes() {
+		if _, err := fmt.Fprintf(w, "\n{%s} — level %d, %d biased\n",
+			strings.Join(node.Attrs, ", "), node.Level, len(node.Biased)); err != nil {
+			return err
+		}
+		for i, r := range node.Biased {
+			branch := "├─"
+			if i == len(node.Biased)-1 {
+				branch = "└─"
+			}
+			if _, err := fmt.Fprintf(w, "  %s %-48s |r|=%d  ratio_r=%.3f  ratio_rn=%.3f  gap=%.3f\n",
+				branch, res.Space.String(r.Pattern), r.Counts.N, r.Ratio, r.NeighborRatio, r.Gap()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row; attribute values are
+// written as their domain strings and the label as 0/1 under the
+// schema's target name.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Schema.Attrs)+1)
+	for _, a := range d.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, d.Schema.Target)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.Rows {
+		for j, v := range row {
+			rec[j] = d.Schema.Attrs[j].Values[v]
+		}
+		rec[len(rec)-1] = strconv.Itoa(int(d.Labels[i]))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to the named file.
+func (d *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV reads a dataset written by WriteCSV (or any categorical CSV
+// with a header). The last column named target carries the 0/1 label;
+// every other column becomes a categorical attribute whose domain is
+// the set of distinct strings in column order of first appearance.
+// protected lists attribute names to mark as protected.
+func ReadCSV(r io.Reader, target string, protected []string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	targetCol := -1
+	for i, h := range header {
+		if h == target {
+			targetCol = i
+		}
+	}
+	if targetCol < 0 {
+		return nil, fmt.Errorf("dataset: target column %q not found", target)
+	}
+	isProt := make(map[string]bool, len(protected))
+	for _, p := range protected {
+		isProt[p] = true
+	}
+	schema := &Schema{Target: target}
+	colToAttr := make([]int, len(header)) // column -> attr index, -1 for target
+	for i, h := range header {
+		if i == targetCol {
+			colToAttr[i] = -1
+			continue
+		}
+		colToAttr[i] = len(schema.Attrs)
+		schema.Attrs = append(schema.Attrs, Attr{Name: h, Protected: isProt[h]})
+	}
+	// Domains are discovered on the fly.
+	codes := make([]map[string]int32, len(schema.Attrs))
+	for i := range codes {
+		codes[i] = map[string]int32{}
+	}
+	d := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		row := make([]int32, len(schema.Attrs))
+		var label int8
+		for i, field := range rec {
+			ai := colToAttr[i]
+			if ai < 0 {
+				v, err := strconv.Atoi(field)
+				if err != nil || (v != 0 && v != 1) {
+					return nil, fmt.Errorf("dataset: line %d: label %q is not 0/1", line, field)
+				}
+				label = int8(v)
+				continue
+			}
+			c, ok := codes[ai][field]
+			if !ok {
+				c = int32(len(schema.Attrs[ai].Values))
+				codes[ai][field] = c
+				schema.Attrs[ai].Values = append(schema.Attrs[ai].Values, field)
+			}
+			row[ai] = c
+		}
+		d.Append(row, label)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadCSVFile reads a dataset from the named file.
+func ReadCSVFile(path, target string, protected []string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, target, protected)
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// AttrSummary is the per-attribute profile produced by Describe.
+type AttrSummary struct {
+	Name      string
+	Protected bool
+	Ordered   bool
+	// Counts holds the instance count per domain value; PosRate the
+	// positive-label fraction per value.
+	Counts  []int
+	PosRate []float64
+}
+
+// Describe profiles every attribute: value distributions and per-value
+// positive rates — the first thing an analyst inspects for
+// representation bias.
+func (d *Dataset) Describe() []AttrSummary {
+	out := make([]AttrSummary, len(d.Schema.Attrs))
+	for a := range d.Schema.Attrs {
+		attr := &d.Schema.Attrs[a]
+		out[a] = AttrSummary{
+			Name:      attr.Name,
+			Protected: attr.Protected,
+			Ordered:   attr.Ordered,
+			Counts:    make([]int, attr.Cardinality()),
+			PosRate:   make([]float64, attr.Cardinality()),
+		}
+	}
+	for i, row := range d.Rows {
+		for a, v := range row {
+			out[a].Counts[v]++
+			if d.Labels[i] == 1 {
+				out[a].PosRate[v]++
+			}
+		}
+	}
+	for a := range out {
+		for v := range out[a].PosRate {
+			if out[a].Counts[v] > 0 {
+				out[a].PosRate[v] /= float64(out[a].Counts[v])
+			}
+		}
+	}
+	return out
+}
+
+// WriteDescription renders Describe as an aligned report.
+func (d *Dataset) WriteDescription(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n\n", d); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "attribute\tflags\tvalue\tcount\tshare\tpositive rate")
+	n := float64(d.Len())
+	for a, s := range d.Describe() {
+		var flags []string
+		if s.Protected {
+			flags = append(flags, "protected")
+		}
+		if s.Ordered {
+			flags = append(flags, "ordered")
+		}
+		flagStr := strings.Join(flags, ",")
+		if flagStr == "" {
+			flagStr = "-"
+		}
+		for v, c := range s.Counts {
+			name := s.Name
+			ff := flagStr
+			if v > 0 {
+				name, ff = "", ""
+			}
+			share := 0.0
+			if n > 0 {
+				share = float64(c) / n
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.1f%%\t%.3f\n",
+				name, ff, d.Schema.Attrs[a].Values[v], c, 100*share, s.PosRate[v])
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV loader never panics and that every
+// successfully loaded dataset passes validation, whatever the input
+// bytes.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("a,b,label\nx,y,1\nz,w,0\n"), "label")
+	f.Add([]byte("label\n1\n0\n"), "label")
+	f.Add([]byte(""), "label")
+	f.Add([]byte("a,label\n\"unterminated,1\n"), "label")
+	f.Add([]byte("a,label\nx,7\n"), "label")
+	f.Add([]byte("a,label\nx\n"), "label")
+	f.Fuzz(func(t *testing.T, raw []byte, target string) {
+		d, err := ReadCSV(bytes.NewReader(raw), target, []string{"a"})
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("loaded dataset fails validation: %v", err)
+		}
+		// Round-trip: anything we can load we can write and reload.
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+	})
+}
+
+// FuzzBucketize asserts bucket indices stay in range for any input.
+func FuzzBucketize(f *testing.F) {
+	f.Add(3.7, 1.0, 2.0, 5.0)
+	f.Add(-1e300, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, v, c1, c2, c3 float64) {
+		cuts := []float64{c1, c2, c3}
+		// Bucketize requires sorted cuts; sort defensively as callers do.
+		for i := 0; i < len(cuts); i++ {
+			for j := i + 1; j < len(cuts); j++ {
+				if cuts[j] < cuts[i] {
+					cuts[i], cuts[j] = cuts[j], cuts[i]
+				}
+			}
+		}
+		b := Bucketize(v, cuts)
+		if b < 0 || int(b) > len(cuts) {
+			t.Fatalf("bucket %d out of range", b)
+		}
+	})
+}

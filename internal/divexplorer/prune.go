@@ -1,0 +1,89 @@
+package divexplorer
+
+import "repro/internal/pattern"
+
+// This file adds the report post-processing DivExplorer offers on top
+// of raw mining: redundancy pruning (a subgroup whose divergence is
+// already explained by a more general subgroup carries no new
+// information) and top-k selection for human consumption.
+
+// TopK returns the k most divergent subgroups (fewer if the report is
+// smaller), preserving the ranking.
+func (r *Report) TopK(k int) []Subgroup {
+	if k > len(r.Subgroups) {
+		k = len(r.Subgroups)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return r.Subgroups[:k]
+}
+
+// PruneRedundant drops every subgroup some strictly more general mined
+// subgroup already explains: g is redundant when an ancestor g' ≻ g has
+// |Δγ_g − Δγ_g'| <= eps. The most general subgroups always survive, so
+// the pruned report highlights where in the lattice divergence actually
+// emerges.
+func (r *Report) PruneRedundant(eps float64) []Subgroup {
+	// Index mined subgroups by key for ancestor lookups.
+	byKey := make(map[uint64]Subgroup, len(r.Subgroups))
+	for _, g := range r.Subgroups {
+		byKey[r.Space.Key(g.Pattern)] = g
+	}
+	var out []Subgroup
+	for _, g := range r.Subgroups {
+		if !r.ancestorExplains(g, byKey, eps) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ancestorExplains reports whether any mined strict ancestor of g has a
+// divergence within eps of g's.
+func (r *Report) ancestorExplains(g Subgroup, byKey map[uint64]Subgroup, eps float64) bool {
+	// Walk all strict generalizations of g's pattern (wildcard any
+	// non-empty subset of deterministic slots, excluding the root).
+	slots := make([]int, 0, len(g.Pattern))
+	for i, v := range g.Pattern {
+		if v != pattern.Wildcard {
+			slots = append(slots, i)
+		}
+	}
+	if len(slots) <= 1 {
+		return false // level-1 subgroups have no non-root ancestors
+	}
+	q := g.Pattern.Clone()
+	found := false
+	var walk func(k int, removed int)
+	walk = func(k int, removed int) {
+		if found {
+			return
+		}
+		if k == len(slots) {
+			if removed == 0 || removed == len(slots) {
+				return // g itself or the root
+			}
+			if anc, ok := byKey[r.Space.Key(q)]; ok {
+				diff := g.Divergence - anc.Divergence
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff <= eps {
+					found = true
+				}
+			}
+			return
+		}
+		// Keep slot k.
+		walk(k+1, removed)
+		// Or wildcard it.
+		s := slots[k]
+		orig := q[s]
+		q[s] = pattern.Wildcard
+		walk(k+1, removed+1)
+		q[s] = orig
+	}
+	walk(0, 0)
+	return found
+}

@@ -1,0 +1,100 @@
+package divexplorer
+
+import (
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/pattern"
+)
+
+func TestTopK(t *testing.T) {
+	d, preds := unfairPredictions(t)
+	rep, err := Explore(d, preds, fairness.FPR, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := rep.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) = %d", len(top))
+	}
+	if top[0].Divergence < top[2].Divergence {
+		t.Fatal("TopK not ranked")
+	}
+	if got := rep.TopK(1000); len(got) != len(rep.Subgroups) {
+		t.Fatal("oversized k must clamp")
+	}
+	if got := rep.TopK(-1); len(got) != 0 {
+		t.Fatal("negative k must clamp to zero")
+	}
+}
+
+func TestPruneRedundantDropsExplainedChildren(t *testing.T) {
+	d, preds := unfairPredictions(t)
+	rep, err := Explore(d, preds, fairness.FPR, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := rep.PruneRedundant(0.05)
+	if len(pruned) == 0 || len(pruned) >= len(rep.Subgroups) {
+		t.Fatalf("pruned %d of %d — expected a strict reduction", len(pruned), len(rep.Subgroups))
+	}
+	// The injected source subgroup must survive: nothing more general
+	// explains its divergence.
+	foundInjected := false
+	for _, g := range pruned {
+		if rep.Space.String(g.Pattern) == "(race=B, sex=M)" {
+			foundInjected = true
+		}
+	}
+	if !foundInjected {
+		t.Fatal("pruning removed the true source subgroup")
+	}
+	// Every surviving level-2+ subgroup must genuinely differ from all
+	// its mined ancestors.
+	byKey := map[uint64]Subgroup{}
+	for _, g := range rep.Subgroups {
+		byKey[rep.Space.Key(g.Pattern)] = g
+	}
+	for _, g := range pruned {
+		if g.Pattern.Level() < 2 {
+			continue
+		}
+		rep.Space.Parents(g.Pattern, func(q pattern.Pattern) {
+			if anc, ok := byKey[rep.Space.Key(q)]; ok {
+				diff := g.Divergence - anc.Divergence
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff <= 0.05 {
+					t.Fatalf("%s survived but parent %s explains it",
+						rep.Space.String(g.Pattern), rep.Space.String(q))
+				}
+			}
+		})
+	}
+}
+
+func TestPruneRedundantKeepsLevelOne(t *testing.T) {
+	d, preds := unfairPredictions(t)
+	rep, err := Explore(d, preds, fairness.FPR, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an enormous epsilon everything with ancestors is pruned;
+	// level-1 subgroups must all remain.
+	pruned := rep.PruneRedundant(1e9)
+	for _, g := range pruned {
+		if g.Pattern.Level() != 1 {
+			t.Fatalf("level-%d subgroup survived infinite epsilon", g.Pattern.Level())
+		}
+	}
+	level1 := 0
+	for _, g := range rep.Subgroups {
+		if g.Pattern.Level() == 1 {
+			level1++
+		}
+	}
+	if len(pruned) != level1 {
+		t.Fatalf("pruned to %d, want all %d level-1 subgroups", len(pruned), level1)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remedy"
+	"repro/internal/synth"
+)
+
+// This file times the repository's engineering ablations (DESIGN.md
+// §"Extensions"): incremental count maintenance vs full recount in the
+// remedy loop, parallel vs sequential identification, and one-shot vs
+// iterative remedy (which also reports residual IBS size, the
+// effectiveness axis of that ablation).
+
+// AblationRow is one (variant, metric) measurement.
+type AblationRow struct {
+	Variant string
+	Seconds float64
+	// ResidualIBS is filled by the one-shot ablation: biased regions
+	// remaining after the remedy at the same τ_c.
+	ResidualIBS int
+}
+
+// AblationResult groups the three studies.
+type AblationResult struct {
+	DatasetRows int
+	Incremental []AblationRow
+	Parallel    []AblationRow
+	OneShot     []AblationRow
+}
+
+// Ablations runs all three studies on the Adult dataset.
+func Ablations(seed int64, quick bool) (*AblationResult, error) {
+	n := 20000
+	if quick {
+		n = 4000
+	}
+	d := synth.AdultN(n, seed)
+	cfg := core.Config{TauC: 0.5, T: 1}
+	res := &AblationResult{DatasetRows: n}
+
+	// 1. Incremental vs recount (massaging keeps the dataset size
+	// stable, isolating the counting cost).
+	for _, v := range []struct {
+		name    string
+		recount bool
+	}{{"incremental counts", false}, {"full recount", true}} {
+		start := time.Now()
+		if _, _, err := remedy.Apply(d, remedy.Options{
+			Identify: cfg, Technique: remedy.Massaging, Seed: seed, Recount: v.recount,
+		}); err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		res.Incremental = append(res.Incremental, AblationRow{Variant: v.name, Seconds: time.Since(start).Seconds()})
+	}
+
+	// 2. Sequential vs parallel identification, at the scalability
+	// study's maximal |X| = 8 where the lattice is large enough for the
+	// fan-out to pay for itself.
+	wide, err := adultWithProtected(d, 8)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"sequential identify (|X|=8)", 0}, {"parallel identify (|X|=8, 4 workers)", 4}} {
+		c := cfg
+		c.Workers = v.workers
+		start := time.Now()
+		if _, err := core.IdentifyOptimized(wide, c); err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		res.Parallel = append(res.Parallel, AblationRow{Variant: v.name, Seconds: time.Since(start).Seconds()})
+	}
+
+	// 3. Iterative vs one-shot remedy: time plus residual biased
+	// regions.
+	for _, v := range []struct {
+		name    string
+		oneShot bool
+	}{{"iterative remedy (Algorithm 2)", false}, {"one-shot remedy", true}} {
+		start := time.Now()
+		out, _, err := remedy.Apply(d, remedy.Options{
+			Identify: cfg, Technique: remedy.Massaging, Seed: seed, OneShot: v.oneShot,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		after, err := core.IdentifyOptimized(out, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.OneShot = append(res.OneShot, AblationRow{
+			Variant: v.name, Seconds: elapsed, ResidualIBS: len(after.Regions),
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the three studies.
+func (r *AblationResult) Tables() []*Table {
+	mk := func(title string, rows []AblationRow, withResidual bool) *Table {
+		t := &Table{Title: title, Columns: []string{"Variant", "Time (s)"}}
+		if withResidual {
+			t.Columns = append(t.Columns, "Residual IBS regions")
+		}
+		for _, row := range rows {
+			cells := []string{row.Variant, fmt.Sprintf("%.3f", row.Seconds)}
+			if withResidual {
+				cells = append(cells, fmt.Sprint(row.ResidualIBS))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+		return t
+	}
+	prefix := fmt.Sprintf("Ablation (Adult, %d rows): ", r.DatasetRows)
+	return []*Table{
+		mk(prefix+"incremental count maintenance", r.Incremental, false),
+		mk(prefix+"parallel identification", r.Parallel, false),
+		mk(prefix+"one-shot vs iterative remedy", r.OneShot, true),
+	}
+}

@@ -1,0 +1,167 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V) on the synthetic datasets: one exported
+// function per artifact, each returning a structured result that can be
+// rendered as the same rows/series the paper reports. The per-
+// experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/divexplorer"
+	"repro/internal/fairness"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// IndexMinSupport is the subgroup support threshold of the Fairness
+// Index (§V-A.d).
+const IndexMinSupport = 0.1
+
+// DatasetSpec bundles a dataset with the paper's per-dataset
+// evaluation parameters (§V-B2).
+type DatasetSpec struct {
+	Name string
+	Data *dataset.Dataset
+	// TauC is the imbalance threshold the paper selects for this
+	// dataset (0.1 for ProPublica and Law School, 0.5 for Adult).
+	TauC float64
+	// T is the neighboring-region distance threshold (1 everywhere).
+	T int
+}
+
+// LoadDataset builds a synthetic dataset by its paper name:
+// "propublica", "adult", or "lawschool". quick shrinks the dataset for
+// tests and benchmarks.
+func LoadDataset(name string, seed int64, quick bool) (DatasetSpec, error) {
+	switch name {
+	case "propublica":
+		n := synth.CompasSize
+		if quick {
+			n = 2000
+		}
+		return DatasetSpec{Name: "ProPublica", Data: synth.CompasN(n, seed), TauC: 0.1, T: 1}, nil
+	case "adult":
+		n := synth.AdultSize
+		if quick {
+			n = 4000
+		}
+		return DatasetSpec{Name: "Adult", Data: synth.AdultN(n, seed), TauC: 0.5, T: 1}, nil
+	case "lawschool":
+		n := synth.LawSchoolSize
+		if quick {
+			n = 2000
+		}
+		return DatasetSpec{Name: "Law School", Data: synth.LawSchoolN(n, seed), TauC: 0.1, T: 1}, nil
+	}
+	return DatasetSpec{}, fmt.Errorf("experiments: unknown dataset %q", name)
+}
+
+// EvalResult aggregates the evaluation metrics of one trained model on
+// one test set.
+type EvalResult struct {
+	IndexFPR  float64 // Fairness Index under γ = FPR
+	IndexFNR  float64 // Fairness Index under γ = FNR
+	Accuracy  float64
+	Violation float64 // GerryFair-style FPR fairness violation
+}
+
+// Evaluate trains the given classifier kind on train and scores it on
+// test: fairness indices under both statistics, accuracy, and the
+// violation metric of Table III.
+func Evaluate(train, test *dataset.Dataset, kind ml.ModelKind, seed int64) (EvalResult, error) {
+	m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return Score(test, m.Predict(test))
+}
+
+// Score computes the evaluation metrics for a fixed prediction vector.
+func Score(test *dataset.Dataset, preds []int) (EvalResult, error) {
+	repFPR, err := divexplorer.Explore(test, preds, fairness.FPR, divexplorer.Options{})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	repFNR, err := divexplorer.Explore(test, preds, fairness.FNR, divexplorer.Options{})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvalResult{
+		IndexFPR:  repFPR.FairnessIndex(IndexMinSupport),
+		IndexFNR:  repFNR.FairnessIndex(IndexMinSupport),
+		Accuracy:  ml.NewConfusion(test.Labels, preds).Accuracy(),
+		Violation: repFPR.Violation(),
+	}, nil
+}
+
+// Table is a minimal text table used by every experiment's renderer.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// TableII renders the dataset-characteristics table (Table II of the
+// paper) from the synthetic generators.
+func TableII(seed int64, quick bool) (*Table, error) {
+	t := &Table{
+		Title:   "Table II: Dataset characteristics",
+		Columns: []string{"Dataset", "|A|", "|X|", "Protected attributes", "Data size"},
+	}
+	for _, name := range []string{"adult", "propublica", "lawschool"} {
+		spec, err := LoadDataset(name, seed, quick)
+		if err != nil {
+			return nil, err
+		}
+		var prot string
+		for i, ai := range spec.Data.Schema.ProtectedIdx() {
+			if i > 0 {
+				prot += ", "
+			}
+			prot += spec.Data.Schema.Attrs[ai].Name
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprint(len(spec.Data.Schema.Attrs)),
+			fmt.Sprint(len(spec.Data.Schema.ProtectedIdx())),
+			prot,
+			fmt.Sprint(spec.Data.Len()),
+		})
+	}
+	return t, nil
+}

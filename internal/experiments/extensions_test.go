@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"text": FormatText, "": FormatText,
+		"markdown": FormatMarkdown, "md": FormatMarkdown,
+		"csv": FormatCSV, "CSV": FormatCSV,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func formatTable() *Table {
+	return &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"a|b", "1"}, {"c", "2"}},
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := formatTable().RenderAs(&buf, FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### demo", "| name | value |", "|---|---|", `a\|b`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := formatTable().RenderAs(&buf, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "name,value" || lines[1] != "a|b,1" {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestRenderAsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := formatTable().RenderAs(&buf, Format("xml")); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	res, err := Robustness("propublica", []int64{1, 2, 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 3 || len(res.Rows) != 2 {
+		t.Fatalf("result shape %+v", res)
+	}
+	orig, rem := res.Rows[0], res.Rows[1]
+	if orig.IndexFPR.N != 3 || rem.Accuracy.N != 3 {
+		t.Fatal("per-seed sample counts wrong")
+	}
+	// Across seeds, the remedy must improve the mean FNR index (the
+	// strongest, most stable effect on this dataset).
+	if rem.IndexFNR.Mean >= orig.IndexFNR.Mean {
+		t.Fatalf("mean FNR index: remedy %v >= original %v", rem.IndexFNR.Mean, orig.IndexFNR.Mean)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatal("table missing ± notation")
+	}
+}
+
+func TestRobustnessDefaultsAndErrors(t *testing.T) {
+	if _, err := Robustness("nope", []int64{1}, true); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestSeedStatsString(t *testing.T) {
+	s := summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("summarize = %+v", s)
+	}
+	if got := s.String(); !strings.HasPrefix(got, "2.000±1.000") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLimitations(t *testing.T) {
+	res, err := Limitations("propublica", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The accuracy-optimized setting uses threshold 0.5 and must show
+	// the paper's headline improvement.
+	acc := res.Rows[0]
+	if acc.Threshold != 0.5 {
+		t.Fatalf("threshold = %v", acc.Threshold)
+	}
+	if acc.ImprovementFPR() <= 0 {
+		t.Fatalf("accuracy-optimized improvement = %v, want positive", acc.ImprovementFPR())
+	}
+	// Cost-sensitive rows exist with shifted thresholds.
+	if res.Rows[1].Threshold <= 0.5 || res.Rows[2].Threshold >= 0.5 {
+		t.Fatalf("cost thresholds: %v / %v", res.Rows[1].Threshold, res.Rows[2].Threshold)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res, err := Ablations(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incremental) != 2 || len(res.Parallel) != 2 || len(res.OneShot) != 2 {
+		t.Fatalf("result shape %+v", res)
+	}
+	// The iterative remedy must leave no more residual IBS than the
+	// one-shot ablation.
+	if res.OneShot[0].ResidualIBS > res.OneShot[1].ResidualIBS {
+		t.Fatalf("iterative residual %d > one-shot %d",
+			res.OneShot[0].ResidualIBS, res.OneShot[1].ResidualIBS)
+	}
+	for _, tab := range res.Tables() {
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	res, err := Parity(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The remedy must not worsen the parity index on average across the
+	// three datasets (§VI argues it helps).
+	var before, after float64
+	for _, row := range res.Rows {
+		before += row.IndexBefore
+		after += row.IndexAfter
+	}
+	if after > before {
+		t.Fatalf("mean parity index rose: %v -> %v", before/3, after/3)
+	}
+	var buf bytes.Buffer
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/divexplorer"
+	"repro/internal/fairness"
+	"repro/internal/ml"
+	"repro/internal/pattern"
+)
+
+// Fig3Row is one unfair subgroup of Fig. 3 with its IBS markings: grey
+// in the paper = the same pattern is itself in the IBS; blue = it
+// strictly dominates a region in the IBS.
+type Fig3Row struct {
+	Pattern       pattern.Pattern
+	Subgroup      string
+	Models        []ml.ModelKind // classifiers whose predictions make it unfair
+	MaxDivergence float64
+	InIBS         bool
+	DominatesIBS  bool
+	// HighSide reports whether the subgroup's statistic lies above the
+	// overall value; DirectionMatch whether the associated IBS region's
+	// imbalance points the way the paper predicts (ratio_r > ratio_rn
+	// for high-FPR subgroups, ratio_r < ratio_rn for high-FNR ones).
+	HighSide       bool
+	DirectionMatch bool
+}
+
+// Fig3Result is the validation experiment of §V-B1: the correlation
+// between unfair subgroups and the IBS on ProPublica.
+type Fig3Result struct {
+	Stat    fairness.Statistic
+	IBSSize int
+	Rows    []Fig3Row
+	// Covered counts rows that are in the IBS or dominate an IBS region
+	// — the paper observes "nearly all".
+	Covered int
+	// DirectionChecked/DirectionMatched verify the paper's second
+	// observation: among covered subgroups whose own region is in the
+	// IBS and whose statistic is on the high side, regions with
+	// ratio_r > ratio_rn associate with high FPR (and ratio_r <
+	// ratio_rn with high FNR).
+	DirectionChecked, DirectionMatched int
+}
+
+// Fig3 runs the validation for one statistic (the paper shows γ = FPR
+// and discusses FNR): identify the IBS on the training data with
+// τ_c = 0.1 and T = 1, collect the unfair subgroups of all four
+// classifiers on the test data, and mark each against the IBS.
+func Fig3(stat fairness.Statistic, seed int64, quick bool) (*Fig3Result, error) {
+	spec, err := LoadDataset("propublica", seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.Data.StratifiedSplit(0.7, seed)
+	ibs, err := core.IdentifyOptimized(train, core.Config{TauC: spec.TauC, T: spec.T})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Stat: stat, IBSSize: len(ibs.Regions)}
+
+	type agg struct {
+		models   []ml.ModelKind
+		maxDiv   float64
+		highSide bool // γ_g above the overall at the most divergent sighting
+	}
+	found := map[uint64]*agg{}
+	var sp *pattern.Space
+	for _, kind := range ml.AllModels {
+		m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := divexplorer.Explore(test, m.Predict(test), stat, divexplorer.Options{MinSupport: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		sp = rep.Space
+		for _, g := range rep.Unfair(0.1) {
+			if !g.Significant {
+				continue
+			}
+			k := sp.Key(g.Pattern)
+			a := found[k]
+			if a == nil {
+				a = &agg{}
+				found[k] = a
+			}
+			a.models = append(a.models, kind)
+			if g.Divergence > a.maxDiv {
+				a.maxDiv = g.Divergence
+				a.highSide = g.Value > rep.Overall
+			}
+		}
+	}
+	keys := make([]uint64, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		p := sp.DecodeKey(k)
+		row := Fig3Row{
+			Pattern:       p,
+			Subgroup:      sp.String(p),
+			Models:        found[k].models,
+			MaxDivergence: found[k].maxDiv,
+			InIBS:         ibs.Contains(p),
+			DominatesIBS:  ibs.DominatesSignificant(p),
+			HighSide:      found[k].highSide,
+		}
+		if row.InIBS || row.DominatesIBS {
+			res.Covered++
+		}
+		// The paper's directional observation: for high-FPR subgroups
+		// the region is positive-heavy (ratio_r > ratio_rn); for
+		// high-FNR subgroups negative-heavy. Checked where the subgroup
+		// itself is an IBS region and sits on the high side.
+		if reg, ok := ibs.Region(p); ok && row.HighSide {
+			res.DirectionChecked++
+			positiveHeavy := reg.Ratio < 0 || reg.Ratio > reg.NeighborRatio
+			switch stat {
+			case fairness.FPR:
+				row.DirectionMatch = positiveHeavy
+			case fairness.FNR:
+				row.DirectionMatch = !positiveHeavy
+			}
+			if row.DirectionMatch {
+				res.DirectionMatched++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 3: unfair subgroups (γ=%s) vs IBS — %d/%d covered (IBS size %d); imbalance direction matches %d/%d",
+			r.Stat, r.Covered, len(r.Rows), r.IBSSize, r.DirectionMatched, r.DirectionChecked),
+		Columns: []string{"Subgroup", "Unfair under", "Max Δγ", "In IBS", "Dominates IBS", "High side", "Direction"},
+	}
+	for _, row := range r.Rows {
+		models := make([]string, len(row.Models))
+		for i, m := range row.Models {
+			models[i] = string(m)
+		}
+		dir := "-"
+		if row.InIBS && row.HighSide {
+			if row.DirectionMatch {
+				dir = "match"
+			} else {
+				dir = "mismatch"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Subgroup,
+			strings.Join(models, ","),
+			f3(row.MaxDivergence),
+			fmt.Sprint(row.InIBS),
+			fmt.Sprint(row.DominatesIBS),
+			fmt.Sprint(row.HighSide),
+			dir,
+		})
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects a Table serialization.
+type Format string
+
+const (
+	// FormatText is the aligned-column default.
+	FormatText Format = "text"
+	// FormatMarkdown emits a GitHub-flavored pipe table.
+	FormatMarkdown Format = "markdown"
+	// FormatCSV emits RFC-4180 CSV (title as a comment-less first
+	// record is omitted; only header + rows).
+	FormatCSV Format = "csv"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case FormatText, "":
+		return FormatText, nil
+	case FormatMarkdown, "md":
+		return FormatMarkdown, nil
+	case FormatCSV:
+		return FormatCSV, nil
+	}
+	return "", fmt.Errorf("experiments: unknown format %q (text, markdown, csv)", s)
+}
+
+// RenderAs writes the table in the requested format.
+func (t *Table) RenderAs(w io.Writer, f Format) error {
+	switch f {
+	case FormatText, "":
+		return t.Render(w)
+	case FormatMarkdown:
+		return t.renderMarkdown(w)
+	case FormatCSV:
+		return t.renderCSV(w)
+	}
+	return fmt.Errorf("experiments: unknown format %q", f)
+}
+
+func (t *Table) renderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	row := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := row(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) renderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

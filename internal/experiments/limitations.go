@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+)
+
+// This file probes the paper's §VI Limitations claim: the
+// representation-bias ⇄ subgroup-unfairness correlation is derived for
+// classifiers optimized for accuracy, and "may not remain valid" for
+// cost-sensitive classifiers. The experiment trains the same decision
+// tree on original and remedied data, then evaluates it both as an
+// accuracy-optimized classifier (threshold 0.5) and as cost-sensitive
+// variants with asymmetric thresholds, reporting how much of the
+// fairness-index improvement survives each threshold.
+
+// LimitationsRow is one (threshold, data) evaluation.
+type LimitationsRow struct {
+	Setting   string  // e.g. "accuracy (t=0.50)"
+	Threshold float64 // decision threshold
+	Original  EvalResult
+	Remedied  EvalResult
+}
+
+// ImprovementFPR is the relative fairness-index reduction the remedy
+// achieves at this threshold (1 = removed entirely, 0 = none, negative
+// = made worse).
+func (r LimitationsRow) ImprovementFPR() float64 {
+	if r.Original.IndexFPR == 0 {
+		return 0
+	}
+	return 1 - r.Remedied.IndexFPR/r.Original.IndexFPR
+}
+
+// LimitationsResult is the cost-sensitivity probe for one dataset.
+type LimitationsResult struct {
+	Dataset string
+	Rows    []LimitationsRow
+}
+
+// Limitations runs the probe on the named dataset with a decision tree
+// base model.
+func Limitations(dsName string, seed int64, quick bool) (*LimitationsResult, error) {
+	spec, err := LoadDataset(dsName, seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.Data.StratifiedSplit(0.7, seed)
+	remedied, _, err := remedy.Apply(train, remedy.Options{
+		Identify:  core.Config{TauC: spec.TauC, T: spec.T},
+		Technique: remedy.PreferentialSampling,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &LimitationsResult{Dataset: spec.Name}
+	settings := []struct {
+		name           string
+		fpCost, fnCost float64
+	}{
+		{"accuracy-optimized", 1, 1},
+		{"FP costs 3x", 3, 1},
+		{"FN costs 3x", 1, 3},
+	}
+	for _, s := range settings {
+		cs := ml.CostSensitive{FPCost: s.fpCost, FNCost: s.fnCost}
+		evalWith := func(tr *dataset.Dataset) (EvalResult, error) {
+			base := ml.NewClassifier(ml.DT, seed)
+			m, err := ml.Train(tr, ml.CostSensitive{Base: base, FPCost: s.fpCost, FNCost: s.fnCost})
+			if err != nil {
+				return EvalResult{}, err
+			}
+			return Score(test, m.Predict(test))
+		}
+		orig, err := evalWith(train)
+		if err != nil {
+			return nil, err
+		}
+		rem, err := evalWith(remedied)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, LimitationsRow{
+			Setting:   s.name,
+			Threshold: cs.Threshold(),
+			Original:  orig,
+			Remedied:  rem,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the probe.
+func (r *LimitationsResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Limitations probe (extension, §VI) — %s, DT: remedy effect under cost-sensitive thresholds", r.Dataset),
+		Columns: []string{"Setting", "Threshold",
+			"Index(FPR) orig", "Index(FPR) remedied", "Improvement",
+			"Acc orig", "Acc remedied"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Setting, fmt.Sprintf("%.2f", row.Threshold),
+			f3(row.Original.IndexFPR), f3(row.Remedied.IndexFPR),
+			fmt.Sprintf("%.0f%%", 100*row.ImprovementFPR()),
+			f3(row.Original.Accuracy), f3(row.Remedied.Accuracy),
+		})
+	}
+	return t
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+)
+
+// Fig7Row is one τ_c setting of the parameter study (Fig. 7): the
+// fairness index (γ = FPR) and accuracy of a decision tree trained on
+// the remedied data.
+type Fig7Row struct {
+	TauC     float64
+	IndexFPR float64
+	Accuracy float64
+	// Updated counts the instances the remedy touched, explaining the
+	// fairness/accuracy movement.
+	Updated int
+}
+
+// Fig7Result is the τ_c sweep for one dataset.
+type Fig7Result struct {
+	Dataset  string
+	Original Fig7Row // τ_c = NaN semantics: the unremedied reference
+	Rows     []Fig7Row
+}
+
+// Fig7 varies the imbalance threshold τ_c from 0.1 to 0.9 with T = 1 on
+// the named dataset ("propublica" or "adult" in the paper), using a
+// decision tree as the downstream model.
+func Fig7(dsName string, seed int64, quick bool) (*Fig7Result, error) {
+	spec, err := LoadDataset(dsName, seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.Data.StratifiedSplit(0.7, seed)
+	res := &Fig7Result{Dataset: spec.Name}
+	base, err := Evaluate(train, test, ml.DT, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Original = Fig7Row{IndexFPR: base.IndexFPR, Accuracy: base.Accuracy}
+	for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		remedied, rep, err := remedy.Apply(train, remedy.Options{
+			Identify:  core.Config{TauC: tau, T: 1},
+			Technique: remedy.PreferentialSampling,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("τ_c=%v: %w", tau, err)
+		}
+		ev, err := Evaluate(remedied, test, ml.DT, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			TauC:     tau,
+			IndexFPR: ev.IndexFPR,
+			Accuracy: ev.Accuracy,
+			Updated:  rep.Added + rep.Removed + rep.Flipped,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 7 — %s: fairness index and accuracy, varying τ_c (DT, T=1)", r.Dataset),
+		Columns: []string{"τ_c", "Index(FPR)", "Accuracy", "Instances updated"},
+	}
+	t.Rows = append(t.Rows, []string{"original", f3(r.Original.IndexFPR), f3(r.Original.Accuracy), "0"})
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", row.TauC), f3(row.IndexFPR), f3(row.Accuracy), fmt.Sprint(row.Updated),
+		})
+	}
+	return t
+}
+
+// Fig8Row is one distance-threshold setting of Fig. 8.
+type Fig8Row struct {
+	Label    string // "original", "T=1", "T=|X|"
+	IndexFPR float64
+	IndexFNR float64
+	Accuracy float64
+}
+
+// Fig8Result compares T = 1 against T = |X| for one dataset.
+type Fig8Result struct {
+	Dataset string
+	Rows    []Fig8Row
+}
+
+// Fig8 compares the neighboring-region distance thresholds T = 1 and
+// T = |X| (§V-B3) on the named dataset with a decision tree.
+func Fig8(dsName string, seed int64, quick bool) (*Fig8Result, error) {
+	spec, err := LoadDataset(dsName, seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.Data.StratifiedSplit(0.7, seed)
+	res := &Fig8Result{Dataset: spec.Name}
+	base, err := Evaluate(train, test, ml.DT, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Fig8Row{
+		Label: "original", IndexFPR: base.IndexFPR, IndexFNR: base.IndexFNR, Accuracy: base.Accuracy,
+	})
+	dim := len(spec.Data.Schema.ProtectedIdx())
+	for _, tc := range []struct {
+		label string
+		T     int
+	}{{"T=1", 1}, {fmt.Sprintf("T=|X|=%d", dim), dim}} {
+		remedied, _, err := remedy.Apply(train, remedy.Options{
+			Identify:  core.Config{TauC: spec.TauC, T: tc.T},
+			Technique: remedy.PreferentialSampling,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.label, err)
+		}
+		ev, err := Evaluate(remedied, test, ml.DT, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			Label: tc.label, IndexFPR: ev.IndexFPR, IndexFNR: ev.IndexFNR, Accuracy: ev.Accuracy,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 8 — %s: fairness index and accuracy under different T (DT)", r.Dataset),
+		Columns: []string{"Setting", "Index(FPR)", "Index(FNR)", "Accuracy"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Label, f3(row.IndexFPR), f3(row.IndexFNR), f3(row.Accuracy)})
+	}
+	return t
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/remedy"
+	"repro/internal/synth"
+)
+
+// scalabilityTechniques are the remedy techniques timed in Fig. 9b/9d.
+// Oversampling is attempted too, with the added-instance budget that
+// models the paper's memory resource limit.
+var scalabilityTechniques = []remedy.Technique{
+	remedy.Undersampling, remedy.PreferentialSampling, remedy.Massaging, remedy.Oversampling,
+}
+
+// oversampleBudget is the added-instance cap standing in for the
+// paper's memory limit.
+const oversampleBudget = 500_000
+
+// adultWithProtected returns the Adult dataset with the first k
+// attributes of the scalability protected set marked protected
+// (k ∈ [3, 8]): age, race, gender, marital_status, relationship,
+// country, education, occupation.
+func adultWithProtected(d *dataset.Dataset, k int) (*dataset.Dataset, error) {
+	order := []string{"age", "race", "gender", "marital_status", "relationship", "country", "education", "occupation"}
+	if k < 1 || k > len(order) {
+		return nil, fmt.Errorf("experiments: protected count %d out of range", k)
+	}
+	s := d.Schema.Clone()
+	if err := s.SetProtected(order[:k]...); err != nil {
+		return nil, err
+	}
+	return &dataset.Dataset{Schema: s, Rows: d.Rows, Labels: d.Labels, Weights: d.Weights}, nil
+}
+
+// Fig9aRow is one |X| point of the identification-runtime comparison.
+type Fig9aRow struct {
+	NumAttrs     int
+	NaiveSec     float64
+	OptimizedSec float64
+	// NeighborOps counts the per-region neighbor aggregations, the
+	// quantity the optimized algorithm provably reduces from (c−1)·d·T
+	// to d·T.
+	NaiveOps, OptimizedOps int
+}
+
+// Fig9aResult is the naïve-vs-optimized identification scalability
+// study over the number of protected attributes.
+type Fig9aResult struct{ Rows []Fig9aRow }
+
+// Fig9a times IBS identification on Adult for |X| from 3 to 8 (3 to 6
+// in quick mode). The naïve algorithm recomputes every neighbor's
+// counts by a dataset scan, so its cost is (neighbor ops) × (rows); a
+// 12k-row subsample keeps the full sweep under a minute while
+// preserving the exponential growth and the naïve/optimized gap.
+func Fig9a(seed int64, quick bool) (*Fig9aResult, error) {
+	n := 12000
+	maxAttrs := 8
+	if quick {
+		n = 5000
+		maxAttrs = 6
+	}
+	base := synth.AdultN(n, seed)
+	res := &Fig9aResult{}
+	for k := 3; k <= maxAttrs; k++ {
+		d, err := adultWithProtected(base, k)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{TauC: 0.5, T: 1}
+		start := time.Now()
+		nv, err := core.IdentifyNaive(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		naiveSec := time.Since(start).Seconds()
+		start = time.Now()
+		opt, err := core.IdentifyOptimized(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		optSec := time.Since(start).Seconds()
+		res.Rows = append(res.Rows, Fig9aRow{
+			NumAttrs: k,
+			NaiveSec: naiveSec, OptimizedSec: optSec,
+			NaiveOps: nv.NeighborOps, OptimizedOps: opt.NeighborOps,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *Fig9aResult) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 9a: IBS identification runtime, varying # of protected attributes (Adult)",
+		Columns: []string{"|X|", "Naive (s)", "Optimized (s)", "Naive neighbor ops", "Optimized neighbor ops"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.NumAttrs),
+			fmt.Sprintf("%.3f", row.NaiveSec), fmt.Sprintf("%.3f", row.OptimizedSec),
+			fmt.Sprint(row.NaiveOps), fmt.Sprint(row.OptimizedOps),
+		})
+	}
+	return t
+}
+
+// Fig9bRow is one |X| point of the remedy-runtime study. A negative
+// seconds value marks a technique that exceeded the resource budget
+// (oversampling at large |X|, as in the paper).
+type Fig9bRow struct {
+	NumAttrs int
+	Seconds  map[remedy.Technique]float64
+}
+
+// Fig9bResult is the remedy-runtime study over |X|.
+type Fig9bResult struct{ Rows []Fig9bRow }
+
+// Fig9b times the remedy algorithm per technique for |X| from 3 to 8
+// (3 to 5 in quick mode) on Adult.
+func Fig9b(seed int64, quick bool) (*Fig9bResult, error) {
+	n := synth.AdultSize
+	maxAttrs := 8
+	if quick {
+		n = 4000
+		maxAttrs = 5
+	}
+	base := synth.AdultN(n, seed)
+	res := &Fig9bResult{}
+	for k := 3; k <= maxAttrs; k++ {
+		d, err := adultWithProtected(base, k)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9bRow{NumAttrs: k, Seconds: map[remedy.Technique]float64{}}
+		for _, tech := range scalabilityTechniques {
+			sec, err := timeRemedy(d, tech, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds[tech] = sec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// timeRemedy runs one remedy and returns its wall-clock seconds, or -1
+// when the technique exceeds the resource budget.
+func timeRemedy(d *dataset.Dataset, tech remedy.Technique, seed int64) (float64, error) {
+	start := time.Now()
+	_, _, err := remedy.Apply(d, remedy.Options{
+		Identify:  core.Config{TauC: 0.5, T: 1},
+		Technique: tech,
+		Seed:      seed,
+		MaxAdded:  oversampleBudget,
+	})
+	if errors.Is(err, remedy.ErrResourceLimit) {
+		return -1, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// Table renders the study.
+func (r *Fig9bResult) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 9b: remedy runtime by technique, varying # of protected attributes (Adult)",
+		Columns: []string{"|X|", "US (s)", "PS (s)", "Massaging (s)", "DP (s)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.NumAttrs),
+			fmtSec(row.Seconds[remedy.Undersampling]),
+			fmtSec(row.Seconds[remedy.PreferentialSampling]),
+			fmtSec(row.Seconds[remedy.Massaging]),
+			fmtSec(row.Seconds[remedy.Oversampling]),
+		})
+	}
+	return t
+}
+
+func fmtSec(s float64) string {
+	if s < 0 {
+		return "resource limit"
+	}
+	return fmt.Sprintf("%.3f", s)
+}
+
+// Fig9cRow is one data-size point of the identification scalability
+// study at maximal |X|.
+type Fig9cRow struct {
+	Rows         int
+	NaiveSec     float64
+	OptimizedSec float64
+}
+
+// Fig9cResult is the identification runtime over data size.
+type Fig9cResult struct {
+	NumAttrs int
+	Rows     []Fig9cRow
+}
+
+// Fig9c times IBS identification at |X| = 7 (6 in quick mode) while
+// scaling the Adult dataset from 20% to 100%. |X| = 7 keeps the naïve
+// algorithm's quadratic-ish cost (neighbor scans × rows) within a
+// minute at full size.
+func Fig9c(seed int64, quick bool) (*Fig9cResult, error) {
+	n := synth.AdultSize
+	attrs := 7
+	if quick {
+		n = 6000
+		attrs = 6
+	}
+	full := synth.AdultN(n, seed)
+	res := &Fig9cResult{NumAttrs: attrs}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		sample := full.SampleFraction(frac, seed)
+		d, err := adultWithProtected(sample, attrs)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{TauC: 0.5, T: 1}
+		start := time.Now()
+		if _, err := core.IdentifyNaive(d, cfg); err != nil {
+			return nil, err
+		}
+		naiveSec := time.Since(start).Seconds()
+		start = time.Now()
+		if _, err := core.IdentifyOptimized(d, cfg); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig9cRow{
+			Rows: d.Len(), NaiveSec: naiveSec, OptimizedSec: time.Since(start).Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *Fig9cResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 9c: IBS identification runtime, varying data size (|X|=%d)", r.NumAttrs),
+		Columns: []string{"Rows", "Naive (s)", "Optimized (s)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.Rows), fmt.Sprintf("%.3f", row.NaiveSec), fmt.Sprintf("%.3f", row.OptimizedSec),
+		})
+	}
+	return t
+}
+
+// Fig9dRow is one data-size point of the remedy-runtime study.
+type Fig9dRow struct {
+	Rows    int
+	Seconds map[remedy.Technique]float64
+}
+
+// Fig9dResult is the remedy runtime over data size.
+type Fig9dResult struct {
+	NumAttrs int
+	Rows     []Fig9dRow
+}
+
+// Fig9d times the remedy per technique at |X| = 8 (6 in quick mode)
+// while scaling the Adult dataset.
+func Fig9d(seed int64, quick bool) (*Fig9dResult, error) {
+	n := synth.AdultSize
+	attrs := 8
+	if quick {
+		n = 6000
+		attrs = 6
+	}
+	full := synth.AdultN(n, seed)
+	res := &Fig9dResult{NumAttrs: attrs}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		sample := full.SampleFraction(frac, seed)
+		d, err := adultWithProtected(sample, attrs)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9dRow{Rows: d.Len(), Seconds: map[remedy.Technique]float64{}}
+		for _, tech := range scalabilityTechniques {
+			sec, err := timeRemedy(d, tech, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds[tech] = sec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the study.
+func (r *Fig9dResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 9d: remedy runtime by technique, varying data size (|X|=%d)", r.NumAttrs),
+		Columns: []string{"Rows", "US (s)", "PS (s)", "Massaging (s)", "DP (s)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.Rows),
+			fmtSec(row.Seconds[remedy.Undersampling]),
+			fmtSec(row.Seconds[remedy.PreferentialSampling]),
+			fmtSec(row.Seconds[remedy.Massaging]),
+			fmtSec(row.Seconds[remedy.Oversampling]),
+		})
+	}
+	return t
+}

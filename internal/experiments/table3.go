@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+)
+
+// Table3Row is one method of the baseline comparison (Table III).
+type Table3Row struct {
+	Approach  string
+	Violation float64
+	Accuracy  float64
+	// Seconds is the wall-clock cost: pre-processing plus downstream
+	// logistic-regression training for the pre-processing methods, and
+	// the full in-processing training for GerryFair. Absolute values
+	// are machine-specific; the paper's claim is about the ratios.
+	Seconds float64
+}
+
+// Table3Result is the §V-B4 comparison.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 compares Remedy against the five baselines on Adult restricted
+// to X = {race, gender} with logistic regression as the downstream
+// model, reporting fairness violation, accuracy, and execution time.
+func Table3(seed int64, quick bool) (*Table3Result, error) {
+	spec, err := LoadDataset("adult", seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	// Restrict the protected set to {race, gender} as in [35].
+	schema := spec.Data.Schema.Clone()
+	if err := schema.SetProtected("race", "gender"); err != nil {
+		return nil, err
+	}
+	data := &dataset.Dataset{Schema: schema, Rows: spec.Data.Rows, Labels: spec.Data.Labels}
+	train, test := data.StratifiedSplit(0.7, seed)
+	res := &Table3Result{}
+
+	trainLG := func(tr *dataset.Dataset) ([]int, error) {
+		m, err := ml.Train(tr, ml.NewClassifier(ml.LG, seed))
+		if err != nil {
+			return nil, err
+		}
+		return m.Predict(test), nil
+	}
+	addRow := func(name string, prep func() (*dataset.Dataset, error)) error {
+		start := time.Now()
+		tr, err := prep()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		preds, err := trainLG(tr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		ev, err := Score(test, preds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Approach: name, Violation: ev.Violation, Accuracy: ev.Accuracy, Seconds: elapsed,
+		})
+		return nil
+	}
+
+	if err := addRow("Original", func() (*dataset.Dataset, error) { return train, nil }); err != nil {
+		return nil, err
+	}
+	if err := addRow("Remedy", func() (*dataset.Dataset, error) {
+		out, _, err := remedy.Apply(train, remedy.Options{
+			Identify:  core.Config{TauC: 0.1, T: 1},
+			Technique: remedy.PreferentialSampling,
+			Seed:      seed,
+		})
+		return out, err
+	}); err != nil {
+		return nil, err
+	}
+	for _, p := range []baselines.Preprocessor{
+		baselines.Coverage{Seed: seed},
+		baselines.FairBalance{},
+		baselines.FairSMOTE{Seed: seed},
+		baselines.Reweighting{},
+	} {
+		p := p
+		if err := addRow(p.Name(), func() (*dataset.Dataset, error) { return p.Apply(train) }); err != nil {
+			return nil, err
+		}
+	}
+	// GerryFair trains in-processing; its "prep" is the whole loop.
+	start := time.Now()
+	iters := 25
+	if quick {
+		iters = 5
+	}
+	gf, err := baselines.TrainGerryFair(train, baselines.GerryFairParams{Iterations: iters, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	ev, err := Score(test, gf.Predict(test))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table3Row{
+		Approach: "GerryFair", Violation: ev.Violation, Accuracy: ev.Accuracy, Seconds: elapsed,
+	})
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *Table3Result) Table() *Table {
+	t := &Table{
+		Title:   "Table III: fairness violation, accuracy, time — Adult, X={race,gender}, LG",
+		Columns: []string{"Approach", "Fairness violation", "Accuracy", "Time (s)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Approach, f4(row.Violation), f3(row.Accuracy), fmt.Sprintf("%.2f", row.Seconds),
+		})
+	}
+	return t
+}
+
+// Row returns the named approach's row, or false.
+func (r *Table3Result) Row(name string) (Table3Row, bool) {
+	for _, row := range r.Rows {
+		if row.Approach == name {
+			return row, true
+		}
+	}
+	return Table3Row{}, false
+}

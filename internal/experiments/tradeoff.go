@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/remedy"
+)
+
+// TradeoffRow is one (mitigation method, classifier) cell of the
+// fairness-accuracy trade-off figures (Figs. 4, 5, 6).
+type TradeoffRow struct {
+	Method string
+	Model  ml.ModelKind
+	EvalResult
+}
+
+// TradeoffResult holds both panels of a trade-off figure: the IBS
+// identification scope comparison (panels a–c, preferential sampling
+// fixed) and the pre-processing technique comparison (panel d, Lattice
+// fixed).
+type TradeoffResult struct {
+	Dataset       string
+	ScopeRows     []TradeoffRow
+	TechniqueRows []TradeoffRow
+}
+
+// scopeMethods is the panel a–c method axis.
+var scopeMethods = []struct {
+	name  string
+	scope core.Scope
+}{
+	{"Lattice", core.Lattice},
+	{"Leaf", core.Leaf},
+	{"Top", core.Top},
+}
+
+// Tradeoff runs the full fairness-accuracy trade-off experiment for one
+// dataset ("adult" → Fig. 4, "lawschool" → Fig. 5, "propublica" →
+// Fig. 6) with the paper's per-dataset parameters.
+func Tradeoff(dsName string, seed int64, quick bool) (*TradeoffResult, error) {
+	spec, err := LoadDataset(dsName, seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.Data.StratifiedSplit(0.7, seed)
+	res := &TradeoffResult{Dataset: spec.Name}
+
+	evalAll := func(method string, tr *dataset.Dataset, dst *[]TradeoffRow) error {
+		for _, kind := range ml.AllModels {
+			ev, err := Evaluate(tr, test, kind, seed)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", method, kind, err)
+			}
+			*dst = append(*dst, TradeoffRow{Method: method, Model: kind, EvalResult: ev})
+		}
+		return nil
+	}
+
+	// Panel a–c: Original vs the three identification scopes, remedied
+	// with preferential sampling.
+	if err := evalAll("Original", train, &res.ScopeRows); err != nil {
+		return nil, err
+	}
+	var latticePS *dataset.Dataset
+	for _, m := range scopeMethods {
+		remedied, _, err := remedy.Apply(train, remedy.Options{
+			Identify:  core.Config{TauC: spec.TauC, T: spec.T, Scope: m.scope},
+			Technique: remedy.PreferentialSampling,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("remedy %s: %w", m.name, err)
+		}
+		if m.scope == core.Lattice {
+			latticePS = remedied
+		}
+		if err := evalAll(m.name, remedied, &res.ScopeRows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Panel d: the four techniques under the Lattice scope (PS reuses
+	// the dataset remedied above).
+	for _, tech := range []remedy.Technique{
+		remedy.PreferentialSampling, remedy.Undersampling,
+		remedy.Oversampling, remedy.Massaging,
+	} {
+		var remedied *dataset.Dataset
+		if tech == remedy.PreferentialSampling && latticePS != nil {
+			remedied = latticePS
+		} else {
+			var err error
+			remedied, _, err = remedy.Apply(train, remedy.Options{
+				Identify:  core.Config{TauC: spec.TauC, T: spec.T},
+				Technique: tech,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("remedy %s: %w", tech, err)
+			}
+		}
+		if err := evalAll(string(tech), remedied, &res.TechniqueRows); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the two panels.
+func (r *TradeoffResult) Tables() []*Table {
+	scope := &Table{
+		Title:   fmt.Sprintf("Fig. 4/5/6 (a-c) — %s: IBS scopes, preferential sampling", r.Dataset),
+		Columns: []string{"Method", "Model", "Index(FPR)", "Index(FNR)", "Accuracy"},
+	}
+	for _, row := range r.ScopeRows {
+		scope.Rows = append(scope.Rows, []string{
+			row.Method, string(row.Model), f3(row.IndexFPR), f3(row.IndexFNR), f3(row.Accuracy),
+		})
+	}
+	tech := &Table{
+		Title:   fmt.Sprintf("Fig. 4/5/6 (d) — %s: pre-processing techniques, Lattice scope", r.Dataset),
+		Columns: []string{"Technique", "Model", "Index(FPR)", "Accuracy"},
+	}
+	for _, row := range r.TechniqueRows {
+		tech.Rows = append(tech.Rows, []string{
+			row.Method, string(row.Model), f3(row.IndexFPR), f3(row.Accuracy),
+		})
+	}
+	return []*Table{scope, tech}
+}
+
+// MeanBy averages a metric over the rows of one method, used by the
+// integration tests to check the paper's shape claims.
+func MeanBy(rows []TradeoffRow, method string, metric func(EvalResult) float64) float64 {
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Method == method {
+			sum += metric(r.EvalResult)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

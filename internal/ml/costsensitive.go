@@ -1,0 +1,47 @@
+package ml
+
+// CostSensitive wraps a probabilistic classifier with asymmetric
+// misclassification costs (Zadrozny et al., the cost-sensitive setting
+// of the paper's §VI Limitations): the decision threshold becomes
+// FPCost / (FPCost + FNCost), the Bayes-optimal cutoff when a false
+// positive costs FPCost and a false negative FNCost. The paper notes
+// its representation-bias ⇄ unfairness correlation is derived for
+// accuracy-optimized classifiers and may not hold here; the experiments
+// use this wrapper to probe that limitation.
+type CostSensitive struct {
+	Base Classifier
+	// FPCost and FNCost are the misclassification costs; non-positive
+	// values default to 1 (plain accuracy optimization).
+	FPCost, FNCost float64
+}
+
+// Threshold returns the decision cutoff implied by the costs.
+func (c CostSensitive) Threshold() float64 {
+	fp, fn := c.FPCost, c.FNCost
+	if fp <= 0 {
+		fp = 1
+	}
+	if fn <= 0 {
+		fn = 1
+	}
+	return fp / (fp + fn)
+}
+
+// Fit trains the base classifier.
+func (c CostSensitive) Fit(x [][]float64, y []float64, w []float64) error {
+	return c.Base.Fit(x, y, w)
+}
+
+// PredictProba returns the base classifier's probability (costs affect
+// only the decision, not the estimate).
+func (c CostSensitive) PredictProba(x []float64) float64 {
+	return c.Base.PredictProba(x)
+}
+
+// Predict applies the cost-adjusted threshold.
+func (c CostSensitive) Predict(x []float64) int {
+	if c.Base.PredictProba(x) >= c.Threshold() {
+		return 1
+	}
+	return 0
+}

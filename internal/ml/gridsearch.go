@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// ModelKind names the four downstream classifiers of the evaluation.
+type ModelKind string
+
+const (
+	DT ModelKind = "DT" // decision tree
+	RF ModelKind = "RF" // random forest
+	LG ModelKind = "LG" // logistic regression
+	NN ModelKind = "NN" // neural network
+)
+
+// AllModels lists the classifiers in the paper's order.
+var AllModels = []ModelKind{DT, RF, LG, NN}
+
+// NewClassifier constructs a classifier of the given kind with the
+// repository's tuned default hyperparameters (chosen by GridSearch on
+// the synthetic datasets; see experiments).
+func NewClassifier(kind ModelKind, seed int64) Classifier {
+	switch kind {
+	case DT:
+		return NewDecisionTree(TreeParams{MaxDepth: 10, MinLeafWeight: 5, Seed: seed})
+	case RF:
+		return NewRandomForest(ForestParams{Trees: 30, MaxDepth: 10, Seed: seed})
+	case LG:
+		return NewLogisticRegression(LogRegParams{Epochs: 150, LearningRate: 0.8, L2: 1e-4, Seed: seed})
+	case NN:
+		return NewNeuralNetwork(NNParams{Hidden: 16, Epochs: 8, LearningRate: 0.1, Seed: seed})
+	}
+	panic(fmt.Sprintf("ml: unknown model kind %q", kind))
+}
+
+// GridPoint is one hyperparameter assignment: a factory plus its
+// human-readable description.
+type GridPoint struct {
+	Name  string
+	Build func(seed int64) Classifier
+}
+
+// GridResult reports the cross-validated accuracy of one grid point.
+type GridResult struct {
+	Point    GridPoint
+	Accuracy float64
+}
+
+// GridSearch evaluates each grid point with k-fold cross-validation on
+// d and returns all results with the best first. It mirrors the paper's
+// "grid search to obtain the optimal hyperparameters".
+func GridSearch(d *dataset.Dataset, points []GridPoint, k int, seed int64) ([]GridResult, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ml: empty grid")
+	}
+	folds := d.KFold(k, seed)
+	enc := dataset.NewEncoding(d.Schema)
+	x, y, w := enc.Encode(d)
+	results := make([]GridResult, 0, len(points))
+	for _, pt := range points {
+		var correct, total float64
+		for fi, fold := range folds {
+			trainIdx, testIdx := fold[0], fold[1]
+			tx := make([][]float64, len(trainIdx))
+			ty := make([]float64, len(trainIdx))
+			tw := make([]float64, len(trainIdx))
+			for i, j := range trainIdx {
+				tx[i], ty[i], tw[i] = x[j], y[j], w[j]
+			}
+			clf := pt.Build(seed + int64(fi))
+			if err := clf.Fit(tx, ty, tw); err != nil {
+				return nil, fmt.Errorf("ml: grid point %s: %w", pt.Name, err)
+			}
+			for _, j := range testIdx {
+				if float64(clf.Predict(x[j])) == y[j] {
+					correct++
+				}
+				total++
+			}
+		}
+		results = append(results, GridResult{Point: pt, Accuracy: correct / total})
+	}
+	// Selection sort by accuracy descending keeps ties stable.
+	for i := 0; i < len(results); i++ {
+		best := i
+		for j := i + 1; j < len(results); j++ {
+			if results[j].Accuracy > results[best].Accuracy {
+				best = j
+			}
+		}
+		results[i], results[best] = results[best], results[i]
+	}
+	return results, nil
+}
+
+// DefaultGrid returns a small hyperparameter grid for the given model
+// kind, in the spirit of the paper's tuning.
+func DefaultGrid(kind ModelKind) []GridPoint {
+	switch kind {
+	case DT:
+		var pts []GridPoint
+		for _, depth := range []int{6, 10, 14} {
+			for _, leaf := range []float64{1, 5, 20} {
+				depth, leaf := depth, leaf
+				pts = append(pts, GridPoint{
+					Name: fmt.Sprintf("DT(depth=%d,leaf=%v)", depth, leaf),
+					Build: func(seed int64) Classifier {
+						return NewDecisionTree(TreeParams{MaxDepth: depth, MinLeafWeight: leaf, Seed: seed})
+					},
+				})
+			}
+		}
+		return pts
+	case RF:
+		var pts []GridPoint
+		for _, trees := range []int{10, 30} {
+			for _, depth := range []int{8, 12} {
+				trees, depth := trees, depth
+				pts = append(pts, GridPoint{
+					Name: fmt.Sprintf("RF(trees=%d,depth=%d)", trees, depth),
+					Build: func(seed int64) Classifier {
+						return NewRandomForest(ForestParams{Trees: trees, MaxDepth: depth, Seed: seed})
+					},
+				})
+			}
+		}
+		return pts
+	case LG:
+		var pts []GridPoint
+		for _, lr := range []float64{0.3, 0.8} {
+			for _, l2 := range []float64{0, 1e-4, 1e-2} {
+				lr, l2 := lr, l2
+				pts = append(pts, GridPoint{
+					Name: fmt.Sprintf("LG(lr=%v,l2=%v)", lr, l2),
+					Build: func(seed int64) Classifier {
+						return NewLogisticRegression(LogRegParams{LearningRate: lr, L2: l2, Epochs: 150, Seed: seed})
+					},
+				})
+			}
+		}
+		return pts
+	case NN:
+		var pts []GridPoint
+		for _, hidden := range []int{8, 16} {
+			for _, epochs := range []int{5, 10} {
+				hidden, epochs := hidden, epochs
+				pts = append(pts, GridPoint{
+					Name: fmt.Sprintf("NN(hidden=%d,epochs=%d)", hidden, epochs),
+					Build: func(seed int64) Classifier {
+						return NewNeuralNetwork(NNParams{Hidden: hidden, Epochs: epochs, LearningRate: 0.1, Seed: seed})
+					},
+				})
+			}
+		}
+		return pts
+	}
+	panic(fmt.Sprintf("ml: unknown model kind %q", kind))
+}

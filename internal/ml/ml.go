@@ -1,0 +1,108 @@
+// Package ml implements the downstream classifiers the paper evaluates
+// against — decision tree (DT), random forest (RF), logistic regression
+// (LG), and a feed-forward neural network (NN) — plus the categorical
+// Naïve Bayes ranker used by preferential sampling and data massaging,
+// confusion-matrix metrics, and k-fold grid search. Everything is built
+// from scratch on the standard library and supports per-instance sample
+// weights, which the reweighting baselines require.
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Classifier is a binary probabilistic classifier over float feature
+// vectors. Fit trains on a weighted sample; PredictProba returns
+// P(y=1|x); Predict thresholds at 0.5.
+type Classifier interface {
+	Fit(x [][]float64, y []float64, w []float64) error
+	PredictProba(x []float64) float64
+	Predict(x []float64) int
+}
+
+// threshold converts a probability into a hard 0/1 prediction.
+func threshold(p float64) int {
+	if p >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// checkTrainingInput validates the (x, y, w) triple shared by all
+// learners.
+func checkTrainingInput(x [][]float64, y []float64, w []float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(y) != len(x) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(x), len(y))
+	}
+	if w != nil && len(w) != len(x) {
+		return fmt.Errorf("ml: %d rows but %d weights", len(x), len(w))
+	}
+	width := len(x[0])
+	for i := range x {
+		if len(x[i]) != width {
+			return fmt.Errorf("ml: ragged feature matrix at row %d", i)
+		}
+	}
+	for i := range y {
+		if y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("ml: label %v at row %d is not binary", y[i], i)
+		}
+		if w != nil && w[i] < 0 {
+			return fmt.Errorf("ml: negative weight at row %d", i)
+		}
+	}
+	return nil
+}
+
+// ones returns a unit weight vector of length n.
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Model binds a trained classifier to the feature encoding of a schema,
+// so callers can predict directly on datasets.
+type Model struct {
+	Enc *dataset.Encoding
+	Clf Classifier
+}
+
+// Train encodes d and fits clf on it, returning the bound model.
+func Train(d *dataset.Dataset, clf Classifier) (*Model, error) {
+	enc := dataset.NewEncoding(d.Schema)
+	x, y, w := enc.Encode(d)
+	if err := clf.Fit(x, y, w); err != nil {
+		return nil, err
+	}
+	return &Model{Enc: enc, Clf: clf}, nil
+}
+
+// Predict returns hard predictions for every instance of d.
+func (m *Model) Predict(d *dataset.Dataset) []int {
+	out := make([]int, d.Len())
+	buf := make([]float64, m.Enc.Width())
+	for i := range d.Rows {
+		m.Enc.EncodeRow(d.Rows[i], buf)
+		out[i] = m.Clf.Predict(buf)
+	}
+	return out
+}
+
+// PredictProba returns P(y=1|x) for every instance of d.
+func (m *Model) PredictProba(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	buf := make([]float64, m.Enc.Width())
+	for i := range d.Rows {
+		m.Enc.EncodeRow(d.Rows[i], buf)
+		out[i] = m.Clf.PredictProba(buf)
+	}
+	return out
+}

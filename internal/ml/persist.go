@@ -1,0 +1,271 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements model persistence: trained classifiers
+// round-trip through a tagged JSON envelope so a remedied-and-trained
+// model can be shipped without its training data. Trees serialize
+// their node structure; the linear and neural models their weight
+// tensors.
+
+// envelope is the tagged serialization wrapper.
+type envelope struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params"`
+	State  json.RawMessage `json:"state"`
+}
+
+// Persistable is implemented by every classifier in this package.
+type Persistable interface {
+	Classifier
+	// MarshalModel returns the kind tag plus parameter and state
+	// payloads.
+	MarshalModel() (kind string, params, state interface{})
+	// UnmarshalModel restores the state payload (params are restored
+	// by the registry constructor).
+	UnmarshalModel(state json.RawMessage) error
+}
+
+// Save writes a trained classifier to w.
+func Save(w io.Writer, c Classifier) error {
+	p, ok := c.(Persistable)
+	if !ok {
+		return fmt.Errorf("ml: %T does not support persistence", c)
+	}
+	kind, params, state := p.MarshalModel()
+	pj, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	sj, err := json.Marshal(state)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(envelope{Kind: kind, Params: pj, State: sj})
+}
+
+// SaveFile writes a trained classifier to the named file.
+func SaveFile(path string, c Classifier) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, c); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (Classifier, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decoding model envelope: %w", err)
+	}
+	var c Persistable
+	switch env.Kind {
+	case "decision_tree":
+		var p TreeParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		c = NewDecisionTree(p)
+	case "random_forest":
+		var p ForestParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		c = NewRandomForest(p)
+	case "logistic_regression":
+		var p LogRegParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		c = NewLogisticRegression(p)
+	case "neural_network":
+		var p NNParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		c = NewNeuralNetwork(p)
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+	if err := c.UnmarshalModel(env.State); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadFile reads a classifier from the named file.
+func LoadFile(path string) (Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// --- Decision tree ----------------------------------------------------
+
+// treeNodeJSON is the serialized form of a tree node (children are
+// indices into a flat node array so arbitrarily deep trees avoid
+// recursion limits).
+type treeNodeJSON struct {
+	Leaf    bool    `json:"leaf"`
+	Prob    float64 `json:"prob"`
+	Feature int     `json:"feature,omitempty"`
+	Thresh  float64 `json:"thresh,omitempty"`
+	Left    int     `json:"left,omitempty"`
+	Right   int     `json:"right,omitempty"`
+}
+
+func flattenTree(root *treeNode) []treeNodeJSON {
+	if root == nil {
+		return nil
+	}
+	var out []treeNodeJSON
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		idx := len(out)
+		out = append(out, treeNodeJSON{Leaf: n.leaf, Prob: n.prob, Feature: n.feature, Thresh: n.thresh})
+		if !n.leaf {
+			out[idx].Left = walk(n.left)
+			out[idx].Right = walk(n.right)
+		}
+		return idx
+	}
+	walk(root)
+	return out
+}
+
+func unflattenTree(nodes []treeNodeJSON) (*treeNode, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	built := make([]*treeNode, len(nodes))
+	// Build bottom-up: children always have larger indices than their
+	// parent in the flattening order.
+	for i := len(nodes) - 1; i >= 0; i-- {
+		j := nodes[i]
+		n := &treeNode{leaf: j.Leaf, prob: j.Prob, feature: j.Feature, thresh: j.Thresh}
+		if !j.Leaf {
+			if j.Left <= i || j.Left >= len(nodes) || j.Right <= i || j.Right >= len(nodes) {
+				return nil, fmt.Errorf("ml: corrupt tree serialization at node %d", i)
+			}
+			n.left = built[j.Left]
+			n.right = built[j.Right]
+		}
+		built[i] = n
+	}
+	return built[0], nil
+}
+
+// MarshalModel implements Persistable.
+func (t *DecisionTree) MarshalModel() (string, interface{}, interface{}) {
+	return "decision_tree", t.Params, flattenTree(t.root)
+}
+
+// UnmarshalModel implements Persistable.
+func (t *DecisionTree) UnmarshalModel(state json.RawMessage) error {
+	var nodes []treeNodeJSON
+	if err := json.Unmarshal(state, &nodes); err != nil {
+		return err
+	}
+	root, err := unflattenTree(nodes)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+// --- Random forest ----------------------------------------------------
+
+type forestStateJSON struct {
+	Trees []forestTreeJSON `json:"trees"`
+}
+
+type forestTreeJSON struct {
+	Params TreeParams     `json:"params"`
+	Nodes  []treeNodeJSON `json:"nodes"`
+}
+
+// MarshalModel implements Persistable.
+func (f *RandomForest) MarshalModel() (string, interface{}, interface{}) {
+	st := forestStateJSON{}
+	for _, t := range f.trees {
+		st.Trees = append(st.Trees, forestTreeJSON{Params: t.Params, Nodes: flattenTree(t.root)})
+	}
+	return "random_forest", f.Params, st
+}
+
+// UnmarshalModel implements Persistable.
+func (f *RandomForest) UnmarshalModel(state json.RawMessage) error {
+	var st forestStateJSON
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	f.trees = nil
+	for _, tj := range st.Trees {
+		root, err := unflattenTree(tj.Nodes)
+		if err != nil {
+			return err
+		}
+		f.trees = append(f.trees, &DecisionTree{Params: tj.Params, root: root})
+	}
+	return nil
+}
+
+// --- Logistic regression ----------------------------------------------
+
+type logRegStateJSON struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+}
+
+// MarshalModel implements Persistable.
+func (l *LogisticRegression) MarshalModel() (string, interface{}, interface{}) {
+	return "logistic_regression", l.Params, logRegStateJSON{Weights: l.Weights, Bias: l.Bias}
+}
+
+// UnmarshalModel implements Persistable.
+func (l *LogisticRegression) UnmarshalModel(state json.RawMessage) error {
+	var st logRegStateJSON
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	l.Weights, l.Bias = st.Weights, st.Bias
+	return nil
+}
+
+// --- Neural network ---------------------------------------------------
+
+type nnStateJSON struct {
+	W1 [][]float64 `json:"w1"`
+	B1 []float64   `json:"b1"`
+	W2 []float64   `json:"w2"`
+	B2 float64     `json:"b2"`
+}
+
+// MarshalModel implements Persistable.
+func (n *NeuralNetwork) MarshalModel() (string, interface{}, interface{}) {
+	return "neural_network", n.Params, nnStateJSON{W1: n.w1, B1: n.b1, W2: n.w2, B2: n.b2}
+}
+
+// UnmarshalModel implements Persistable.
+func (n *NeuralNetwork) UnmarshalModel(state json.RawMessage) error {
+	var st nnStateJSON
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	n.w1, n.b1, n.w2, n.b2 = st.W1, st.B1, st.W2, st.B2
+	return nil
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c Classifier) Classifier {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func assertSamePredictions(t *testing.T, a, b Classifier, x [][]float64) {
+	t.Helper()
+	for i := range x {
+		pa, pb := a.PredictProba(x[i]), b.PredictProba(x[i])
+		if pa != pb {
+			t.Fatalf("row %d: proba %v != %v after round trip", i, pa, pb)
+		}
+	}
+}
+
+func TestPersistDecisionTree(t *testing.T) {
+	x, y := xorData(300, 1)
+	tree := NewDecisionTree(TreeParams{MaxDepth: 5})
+	if err := tree.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, tree)
+	assertSamePredictions(t, tree, loaded, x)
+	// Params survive too.
+	if loaded.(*DecisionTree).Params.MaxDepth != 5 {
+		t.Fatal("params lost")
+	}
+}
+
+func TestPersistUntrainedTree(t *testing.T) {
+	tree := NewDecisionTree(TreeParams{})
+	loaded := roundTrip(t, tree)
+	if p := loaded.PredictProba([]float64{1}); p != 0.5 {
+		t.Fatalf("untrained round trip proba = %v", p)
+	}
+}
+
+func TestPersistRandomForest(t *testing.T) {
+	x, y := xorData(300, 2)
+	f := NewRandomForest(ForestParams{Trees: 5, MaxDepth: 4, Seed: 3})
+	if err := f.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, f, roundTrip(t, f), x)
+}
+
+func TestPersistLogisticRegression(t *testing.T) {
+	x, y := linearData(300, 3)
+	l := NewLogisticRegression(LogRegParams{Epochs: 50})
+	if err := l.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, l, roundTrip(t, l), x)
+}
+
+func TestPersistNeuralNetwork(t *testing.T) {
+	x, y := xorData(300, 4)
+	n := NewNeuralNetwork(NNParams{Hidden: 6, Epochs: 20, Seed: 5})
+	if err := n.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, n, roundTrip(t, n), x)
+}
+
+func TestPersistFile(t *testing.T) {
+	x, y := linearData(200, 6)
+	l := NewLogisticRegression(LogRegParams{Epochs: 30})
+	if err := l.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, l, loaded, x)
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"kind":"martian","params":{},"state":{}}`)); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestCorruptTreeStateRejected(t *testing.T) {
+	// A non-leaf node whose child index points backwards must be
+	// rejected rather than building a cyclic tree.
+	nodes := []treeNodeJSON{
+		{Leaf: false, Feature: 0, Thresh: 0.5, Left: 0, Right: 0},
+	}
+	raw, _ := json.Marshal(nodes)
+	tree := NewDecisionTree(TreeParams{})
+	if err := tree.UnmarshalModel(raw); err == nil {
+		t.Fatal("cyclic serialization must be rejected")
+	}
+}
+
+func TestSaveUnsupportedClassifier(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, unsupportedClassifier{}); err == nil {
+		t.Fatal("unsupported classifier must error")
+	}
+}
+
+type unsupportedClassifier struct{}
+
+func (unsupportedClassifier) Fit([][]float64, []float64, []float64) error { return nil }
+func (unsupportedClassifier) PredictProba([]float64) float64              { return 0.5 }
+func (unsupportedClassifier) Predict([]float64) int                       { return 0 }

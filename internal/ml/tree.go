@@ -1,0 +1,241 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// TreeParams configures a CART decision tree.
+type TreeParams struct {
+	// MaxDepth limits the tree depth; 0 means the default of 12.
+	MaxDepth int
+	// MinLeafWeight is the minimum total sample weight in a leaf
+	// (default 1).
+	MinLeafWeight float64
+	// MinSplitWeight is the minimum total sample weight required to
+	// attempt a split (default 2).
+	MinSplitWeight float64
+	// MaxFeatures, when positive, samples that many candidate features
+	// per split (used by the random forest). 0 considers all features.
+	MaxFeatures int
+	// Seed drives the feature subsampling.
+	Seed int64
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinLeafWeight <= 0 {
+		p.MinLeafWeight = 1
+	}
+	if p.MinSplitWeight <= 0 {
+		p.MinSplitWeight = 2
+	}
+	return p
+}
+
+// DecisionTree is a weighted binary CART classifier using Gini
+// impurity and threshold splits. Categorical inputs arrive one-hot or
+// ordinal encoded, so threshold splits express both equality and
+// ordering tests.
+type DecisionTree struct {
+	Params TreeParams
+	root   *treeNode
+	// importance accumulates the total weighted Gini decrease per
+	// feature during training.
+	importance []float64
+}
+
+type treeNode struct {
+	leaf    bool
+	prob    float64 // P(y=1) at this node
+	feature int
+	thresh  float64
+	left    *treeNode // feature value <= thresh
+	right   *treeNode
+}
+
+// NewDecisionTree returns an untrained tree with the given parameters.
+func NewDecisionTree(p TreeParams) *DecisionTree {
+	return &DecisionTree{Params: p.withDefaults()}
+}
+
+// Fit trains the tree.
+func (t *DecisionTree) Fit(x [][]float64, y []float64, w []float64) error {
+	if err := checkTrainingInput(x, y, w); err != nil {
+		return err
+	}
+	if w == nil {
+		w = ones(len(x))
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importance = make([]float64, len(x[0]))
+	rng := stats.NewRNG(t.Params.Seed)
+	t.root = t.build(x, y, w, idx, 0, rng)
+	return nil
+}
+
+// FeatureImportance returns the per-feature share of the total Gini
+// impurity decrease accumulated over the tree's splits (normalized to
+// sum to 1; nil before training, all-zero for a stump).
+func (t *DecisionTree) FeatureImportance() []float64 {
+	if t.importance == nil {
+		return nil
+	}
+	out := make([]float64, len(t.importance))
+	var total float64
+	for _, v := range t.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range t.importance {
+		out[i] = v / total
+	}
+	return out
+}
+
+func nodeStats(y, w []float64, idx []int) (wt, wp float64) {
+	for _, i := range idx {
+		wt += w[i]
+		wp += w[i] * y[i]
+	}
+	return wt, wp
+}
+
+func gini(wt, wp float64) float64 {
+	if wt <= 0 {
+		return 0
+	}
+	p := wp / wt
+	return 2 * p * (1 - p)
+}
+
+func (t *DecisionTree) build(x [][]float64, y, w []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+	wt, wp := nodeStats(y, w, idx)
+	n := &treeNode{leaf: true}
+	if wt > 0 {
+		n.prob = wp / wt
+	}
+	if depth >= t.Params.MaxDepth || wt < t.Params.MinSplitWeight ||
+		n.prob == 0 || n.prob == 1 {
+		return n
+	}
+	feat, thresh, gain, ok := t.bestSplit(x, y, w, idx, wt, wp, rng)
+	if !ok {
+		return n
+	}
+	// Weighted impurity decrease credits the chosen feature.
+	t.importance[feat] += gain * wt
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return n
+	}
+	n.leaf = false
+	n.feature = feat
+	n.thresh = thresh
+	n.left = t.build(x, y, w, left, depth+1, rng)
+	n.right = t.build(x, y, w, right, depth+1, rng)
+	return n
+}
+
+// bestSplit finds the (feature, threshold) pair with the largest Gini
+// decrease. Because the encoded features take few distinct values, it
+// histograms per value rather than sorting instances.
+func (t *DecisionTree) bestSplit(x [][]float64, y, w []float64, idx []int, wt, wp float64, rng *rand.Rand) (int, float64, float64, bool) {
+	nf := len(x[idx[0]])
+	feats := make([]int, nf)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.Params.MaxFeatures > 0 && t.Params.MaxFeatures < nf {
+		feats = stats.SampleWithoutReplacement(rng, nf, t.Params.MaxFeatures)
+		sort.Ints(feats)
+	}
+	parent := gini(wt, wp)
+	bestGain := 1e-12
+	bestFeat, bestThresh := -1, 0.0
+	type acc struct{ w, wp float64 }
+	for _, f := range feats {
+		hist := map[float64]acc{}
+		for _, i := range idx {
+			a := hist[x[i][f]]
+			a.w += w[i]
+			a.wp += w[i] * y[i]
+			hist[x[i][f]] = a
+		}
+		if len(hist) < 2 {
+			continue
+		}
+		vals := make([]float64, 0, len(hist))
+		for v := range hist {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		var lw, lwp float64
+		for k := 0; k < len(vals)-1; k++ {
+			a := hist[vals[k]]
+			lw += a.w
+			lwp += a.wp
+			rw, rwp := wt-lw, wp-lwp
+			if lw < t.Params.MinLeafWeight || rw < t.Params.MinLeafWeight {
+				continue
+			}
+			gain := parent - (lw*gini(lw, lwp)+rw*gini(rw, rwp))/wt
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[k] + vals[k+1]) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestGain, bestFeat >= 0
+}
+
+// PredictProba returns the training-set positive fraction of the leaf x
+// falls into.
+func (t *DecisionTree) PredictProba(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0.5
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Predict thresholds PredictProba at 0.5.
+func (t *DecisionTree) Predict(x []float64) int { return threshold(t.PredictProba(x)) }
+
+// Depth returns the depth of the trained tree (0 for a stump/untrained).
+func (t *DecisionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,143 @@
+package pattern
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// This file implements level-wise (apriori-style) frequent-region
+// mining: all regions with at least minSize instances, discovered
+// bottom-up with the classic anti-monotonicity pruning — a region can
+// only reach the support floor if every dominating region does. The
+// paper frames IBS identification as "an analogous task to finding
+// frequent patterns" (Theorem 1); this miner is the frequent-pattern
+// half of that analogy and a sparse alternative to CountAll when the
+// lattice is large but few regions are populated.
+
+// FrequentRegion pairs a frequent pattern with its counts.
+type FrequentRegion struct {
+	Pattern Pattern
+	Counts  Counts
+}
+
+// FrequentRegions mines every region of at least minSize instances,
+// level by level. Results are ordered by level then key. The level-0
+// whole-dataset region is excluded (it is trivially frequent).
+func (sp *Space) FrequentRegions(d *dataset.Dataset, minSize int) []FrequentRegion {
+	if minSize < 1 {
+		minSize = 1
+	}
+	dim := sp.Dim()
+	var out []FrequentRegion
+
+	// Level 1: count every (slot, value) singleton in one pass.
+	counts := make([][]Counts, dim)
+	for s := 0; s < dim; s++ {
+		counts[s] = make([]Counts, sp.Cards[s])
+	}
+	for i, row := range d.Rows {
+		pos := d.Labels[i] == 1
+		for s := 0; s < dim; s++ {
+			counts[s][row[sp.AttrIdx[s]]].Add(pos)
+		}
+	}
+	// frequent holds the keys surviving at the previous level.
+	frequent := make(map[uint64]Counts)
+	for s := 0; s < dim; s++ {
+		for v := 0; v < sp.Cards[s]; v++ {
+			if counts[s][v].N >= minSize {
+				p := NewPattern(dim)
+				p[s] = int16(v)
+				k := sp.Key(p)
+				frequent[k] = counts[s][v]
+				out = append(out, FrequentRegion{Pattern: p, Counts: counts[s][v]})
+			}
+		}
+	}
+
+	for level := 2; level <= dim && len(frequent) > 0; level++ {
+		// Candidate generation with full anti-monotone pruning: a
+		// level-k candidate is kept only if all of its level-(k-1)
+		// projections were frequent. Candidates are generated directly
+		// from each row's projections, which both bounds the candidate
+		// set to populated regions and lets counting share the pass.
+		cand := make(map[uint64]Counts)
+		masks := levelMasks(dim, level)
+		slotsOf := make([][]int, len(masks))
+		for i, m := range masks {
+			slotsOf[i] = maskSlotList(m, dim)
+		}
+		for i, row := range d.Rows {
+			pos := d.Labels[i] == 1
+			for mi := range masks {
+				slots := slotsOf[mi]
+				var key uint64
+				for _, s := range slots {
+					key |= uint64(row[sp.AttrIdx[s]]+1) << uint(5*s)
+				}
+				c, seen := cand[key]
+				if !seen {
+					// First sighting: admit only if every (k-1)-subset
+					// is frequent.
+					ok := true
+					for _, s := range slots {
+						sub := key &^ (uint64(31) << uint(5*s))
+						if _, f := frequent[sub]; !f {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						// Record a tombstone so the subset check runs
+						// once per candidate, not once per row.
+						cand[key] = Counts{N: -1}
+						continue
+					}
+				} else if c.N < 0 {
+					continue
+				}
+				c.Add(pos)
+				cand[key] = c
+			}
+		}
+		frequent = make(map[uint64]Counts)
+		for k, c := range cand {
+			if c.N >= minSize {
+				frequent[k] = c
+			}
+		}
+		keys := make([]uint64, 0, len(frequent))
+		for k := range frequent {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			out = append(out, FrequentRegion{Pattern: sp.DecodeKey(k), Counts: frequent[k]})
+		}
+	}
+	return out
+}
+
+// levelMasks returns all dim-bit masks with exactly level bits set,
+// ascending.
+func levelMasks(dim, level int) []uint32 {
+	var out []uint32
+	for m := uint32(0); m < 1<<uint(dim); m++ {
+		if bits.OnesCount32(m) == level {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func maskSlotList(mask uint32, dim int) []int {
+	slots := make([]int, 0, dim)
+	for i := 0; i < dim; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			slots = append(slots, i)
+		}
+	}
+	return slots
+}

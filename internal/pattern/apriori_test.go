@@ -1,0 +1,130 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestFrequentRegionsMatchesCountAll(t *testing.T) {
+	for _, minSize := range []int{1, 5, 30, 100} {
+		sp, d := testData(t, 600, 21)
+		got := sp.FrequentRegions(d, minSize)
+		table := sp.CountAll(d)
+		want := map[uint64]Counts{}
+		for k, c := range table {
+			if c.N >= minSize && sp.DecodeKey(k).Level() > 0 {
+				want[k] = c
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("minSize=%d: mined %d regions, want %d", minSize, len(got), len(want))
+		}
+		for _, fr := range got {
+			k := sp.Key(fr.Pattern)
+			if want[k] != fr.Counts {
+				t.Fatalf("minSize=%d: %s counts %+v, want %+v",
+					minSize, sp.String(fr.Pattern), fr.Counts, want[k])
+			}
+		}
+	}
+}
+
+func TestFrequentRegionsAntiMonotone(t *testing.T) {
+	sp, d := testData(t, 800, 23)
+	mined := sp.FrequentRegions(d, 40)
+	inSet := map[uint64]bool{}
+	for _, fr := range mined {
+		inSet[sp.Key(fr.Pattern)] = true
+	}
+	// Every parent of a frequent region must itself be frequent.
+	for _, fr := range mined {
+		if fr.Pattern.Level() < 2 {
+			continue
+		}
+		sp.Parents(fr.Pattern, func(q Pattern) {
+			if !inSet[sp.Key(q)] {
+				t.Fatalf("parent %s of frequent %s is not frequent",
+					sp.String(q), sp.String(fr.Pattern))
+			}
+		})
+	}
+}
+
+func TestFrequentRegionsOrderingAndLevels(t *testing.T) {
+	sp, d := testData(t, 500, 27)
+	mined := sp.FrequentRegions(d, 10)
+	for i := 1; i < len(mined); i++ {
+		li, lj := mined[i-1].Pattern.Level(), mined[i].Pattern.Level()
+		if lj < li {
+			t.Fatal("regions not in level order")
+		}
+		if lj == li && sp.Key(mined[i].Pattern) <= sp.Key(mined[i-1].Pattern) {
+			t.Fatal("regions not key-ordered within a level")
+		}
+	}
+	for _, fr := range mined {
+		if fr.Pattern.Level() == 0 {
+			t.Fatal("the whole-dataset region must be excluded")
+		}
+	}
+}
+
+func TestFrequentRegionsHighFloor(t *testing.T) {
+	sp, d := testData(t, 100, 29)
+	if got := sp.FrequentRegions(d, 1000); len(got) != 0 {
+		t.Fatalf("floor above dataset size mined %d regions", len(got))
+	}
+	// minSize below 1 clamps to 1: every populated region is frequent.
+	all := sp.FrequentRegions(d, 0)
+	if len(all) == 0 {
+		t.Fatal("clamped floor mined nothing")
+	}
+}
+
+func TestLevelMasks(t *testing.T) {
+	ms := levelMasks(4, 2)
+	if len(ms) != 6 { // C(4,2)
+		t.Fatalf("levelMasks(4,2) = %d masks", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i] <= ms[i-1] {
+			t.Fatal("masks not ascending")
+		}
+	}
+}
+
+func benchData(b *testing.B, n int) (*Space, *dataset.Dataset) {
+	b.Helper()
+	s := testSchema()
+	d := dataset.New(s)
+	r := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		d.Append([]int32{int32(r.Intn(3)), int32(r.Intn(3)), int32(r.Intn(3)), int32(r.Intn(2))},
+			int8(r.Intn(2)))
+	}
+	sp, err := NewSpace(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp, d
+}
+
+func BenchmarkFrequentRegions(b *testing.B) {
+	sp, d := benchData(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.FrequentRegions(d, 30)
+	}
+}
+
+func BenchmarkCountAll(b *testing.B) {
+	sp, d := benchData(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.CountAll(d)
+	}
+}

@@ -1,0 +1,231 @@
+package pattern
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// This file implements FP-growth (Han, Pei & Yin, "Mining frequent
+// patterns without candidate generation", SIGMOD 2000 — the paper's
+// reference [14] for frequent-pattern mining) as a second mining
+// strategy next to the apriori miner: rows are compressed into a
+// frequent-pattern tree and regions are mined recursively from
+// conditional pattern bases, with no candidate generation. Each tree
+// node carries both the instance count and the positive count so the
+// miner emits full region Counts, not just support.
+
+// fpItem encodes one (slot, value) item.
+type fpItem int32
+
+func mkItem(slot int, value int16) fpItem { return fpItem(slot)<<5 | fpItem(value) }
+func (it fpItem) slot() int               { return int(it >> 5) }
+func (it fpItem) value() int16            { return int16(it & 31) }
+
+type fpNode struct {
+	item     fpItem
+	n, pos   int
+	parent   *fpNode
+	children map[fpItem]*fpNode
+	next     *fpNode // header-table chain
+}
+
+type fpTree struct {
+	root    *fpNode
+	headers map[fpItem]*fpNode
+	// order maps item -> global rank (ascending = more frequent); used
+	// to sort transaction items consistently.
+	order map[fpItem]int
+}
+
+func newFPTree(order map[fpItem]int) *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: map[fpItem]*fpNode{}},
+		headers: map[fpItem]*fpNode{},
+		order:   order,
+	}
+}
+
+// insert adds one (already ordered and filtered) transaction with the
+// given weight.
+func (t *fpTree) insert(items []fpItem, n, pos int) {
+	cur := t.root
+	for _, it := range items {
+		child := cur.children[it]
+		if child == nil {
+			child = &fpNode{item: it, parent: cur, children: map[fpItem]*fpNode{}}
+			cur.children[it] = child
+			child.next = t.headers[it]
+			t.headers[it] = child
+		}
+		child.n += n
+		child.pos += pos
+		cur = child
+	}
+}
+
+// FrequentRegionsFP mines the same result as FrequentRegions with the
+// FP-growth algorithm. Output ordering matches FrequentRegions (level,
+// then key).
+func (sp *Space) FrequentRegionsFP(d *dataset.Dataset, minSize int) []FrequentRegion {
+	if minSize < 1 {
+		minSize = 1
+	}
+	dim := sp.Dim()
+	// Global singleton counts decide the item order and the frequent
+	// singletons.
+	type itemCount struct {
+		n, pos int
+	}
+	singles := map[fpItem]*itemCount{}
+	for i, row := range d.Rows {
+		pos := 0
+		if d.Labels[i] == 1 {
+			pos = 1
+		}
+		for s := 0; s < dim; s++ {
+			it := mkItem(s, int16(row[sp.AttrIdx[s]]))
+			c := singles[it]
+			if c == nil {
+				c = &itemCount{}
+				singles[it] = c
+			}
+			c.n++
+			c.pos += pos
+		}
+	}
+	var frequentItems []fpItem
+	for it, c := range singles {
+		if c.n >= minSize {
+			frequentItems = append(frequentItems, it)
+		}
+	}
+	// Rank by frequency descending, ties by item id for determinism.
+	sort.Slice(frequentItems, func(a, b int) bool {
+		ca, cb := singles[frequentItems[a]].n, singles[frequentItems[b]].n
+		if ca != cb {
+			return ca > cb
+		}
+		return frequentItems[a] < frequentItems[b]
+	})
+	order := make(map[fpItem]int, len(frequentItems))
+	for rank, it := range frequentItems {
+		order[it] = rank
+	}
+
+	tree := newFPTree(order)
+	buf := make([]fpItem, 0, dim)
+	for i, row := range d.Rows {
+		buf = buf[:0]
+		for s := 0; s < dim; s++ {
+			it := mkItem(s, int16(row[sp.AttrIdx[s]]))
+			if _, ok := order[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(a, b int) bool { return order[buf[a]] < order[buf[b]] })
+		pos := 0
+		if d.Labels[i] == 1 {
+			pos = 1
+		}
+		tree.insert(buf, 1, pos)
+	}
+
+	var out []FrequentRegion
+	suffix := make([]fpItem, 0, dim)
+	sp.fpGrowth(tree, minSize, suffix, &out)
+
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Pattern.Level(), out[j].Pattern.Level()
+		if li != lj {
+			return li < lj
+		}
+		return sp.Key(out[i].Pattern) < sp.Key(out[j].Pattern)
+	})
+	return out
+}
+
+// fpGrowth mines one (conditional) tree: every frequent item extends
+// the current suffix into a frequent region, then recurses on the
+// item's conditional pattern base.
+func (sp *Space) fpGrowth(t *fpTree, minSize int, suffix []fpItem, out *[]FrequentRegion) {
+	// Visit header items least-frequent first (standard FP-growth
+	// order; any order is correct).
+	items := make([]fpItem, 0, len(t.headers))
+	for it := range t.headers {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(a, b int) bool { return t.order[items[a]] > t.order[items[b]] })
+	for _, it := range items {
+		var total Counts
+		for node := t.headers[it]; node != nil; node = node.next {
+			total.N += node.n
+			total.Pos += node.pos
+		}
+		if total.N < minSize {
+			continue
+		}
+		// Emit suffix ∪ {item}.
+		p := NewPattern(sp.Dim())
+		p[it.slot()] = it.value()
+		for _, s := range suffix {
+			p[s.slot()] = s.value()
+		}
+		*out = append(*out, FrequentRegion{Pattern: p, Counts: total})
+
+		// Conditional pattern base: prefix paths of every node in the
+		// chain, weighted by the node's counts.
+		condCounts := map[fpItem]*Counts{}
+		type path struct {
+			items  []fpItem
+			n, pos int
+		}
+		var paths []path
+		for node := t.headers[it]; node != nil; node = node.next {
+			var items []fpItem
+			for anc := node.parent; anc != nil && anc.parent != nil; anc = anc.parent {
+				items = append(items, anc.item)
+			}
+			if len(items) == 0 {
+				continue
+			}
+			paths = append(paths, path{items: items, n: node.n, pos: node.pos})
+			for _, pi := range items {
+				c := condCounts[pi]
+				if c == nil {
+					c = &Counts{}
+					condCounts[pi] = c
+				}
+				c.N += node.n
+				c.Pos += node.pos
+			}
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		condOrder := map[fpItem]int{}
+		for pi, c := range condCounts {
+			if c.N >= minSize {
+				condOrder[pi] = t.order[pi] // inherit the global rank
+			}
+		}
+		if len(condOrder) == 0 {
+			continue
+		}
+		cond := newFPTree(condOrder)
+		for _, pp := range paths {
+			kept := pp.items[:0:0]
+			for _, pi := range pp.items {
+				if _, ok := condOrder[pi]; ok {
+					kept = append(kept, pi)
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			sort.Slice(kept, func(a, b int) bool { return condOrder[kept[a]] < condOrder[kept[b]] })
+			cond.insert(kept, pp.n, pp.pos)
+		}
+		sp.fpGrowth(cond, minSize, append(suffix, it), out)
+	}
+}

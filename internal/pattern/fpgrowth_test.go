@@ -1,0 +1,85 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestFPGrowthMatchesApriori(t *testing.T) {
+	for _, minSize := range []int{1, 5, 30, 120} {
+		sp, d := testData(t, 700, 51)
+		apriori := sp.FrequentRegions(d, minSize)
+		fp := sp.FrequentRegionsFP(d, minSize)
+		if len(fp) != len(apriori) {
+			t.Fatalf("minSize=%d: fp-growth %d regions, apriori %d", minSize, len(fp), len(apriori))
+		}
+		for i := range apriori {
+			if !fp[i].Pattern.Equal(apriori[i].Pattern) {
+				t.Fatalf("minSize=%d region %d: %s vs %s", minSize, i,
+					sp.String(fp[i].Pattern), sp.String(apriori[i].Pattern))
+			}
+			if fp[i].Counts != apriori[i].Counts {
+				t.Fatalf("minSize=%d %s: fp %+v apriori %+v", minSize,
+					sp.String(fp[i].Pattern), fp[i].Counts, apriori[i].Counts)
+			}
+		}
+	}
+}
+
+func TestFPGrowthSkewedData(t *testing.T) {
+	// Heavily repeated transactions are FP-growth's best case: the tree
+	// compresses to a few paths. Correctness must hold regardless.
+	s := testSchema()
+	d := dataset.New(s)
+	r := stats.NewRNG(53)
+	for i := 0; i < 900; i++ {
+		row := []int32{0, 0, 0, 0}
+		if r.Intn(10) == 0 {
+			row = []int32{int32(r.Intn(3)), int32(r.Intn(3)), int32(r.Intn(3)), int32(r.Intn(2))}
+		}
+		d.Append(row, int8(r.Intn(2)))
+	}
+	sp, err := NewSpace(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sp.FrequentRegions(d, 20)
+	b := sp.FrequentRegionsFP(d, 20)
+	if len(a) != len(b) {
+		t.Fatalf("fp-growth %d vs apriori %d", len(b), len(a))
+	}
+	for i := range a {
+		if !a[i].Pattern.Equal(b[i].Pattern) || a[i].Counts != b[i].Counts {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestFPGrowthHighFloor(t *testing.T) {
+	sp, d := testData(t, 80, 57)
+	if got := sp.FrequentRegionsFP(d, 10000); len(got) != 0 {
+		t.Fatalf("mined %d regions above the floor", len(got))
+	}
+}
+
+func TestFPItemEncoding(t *testing.T) {
+	for slot := 0; slot < MaxDim; slot++ {
+		for v := int16(0); v < 30; v++ {
+			it := mkItem(slot, v)
+			if it.slot() != slot || it.value() != v {
+				t.Fatalf("item round trip (%d, %d) -> (%d, %d)", slot, v, it.slot(), it.value())
+			}
+		}
+	}
+}
+
+func BenchmarkFrequentRegionsFP(b *testing.B) {
+	sp, d := benchData(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.FrequentRegionsFP(d, 30)
+	}
+}

@@ -1,0 +1,61 @@
+package pattern
+
+import "testing"
+
+// FuzzKeyRoundTrip asserts Key/DecodeKey stay inverse for any slot
+// assignment the encoding admits.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add(int16(-1), int16(0), int16(2))
+	f.Add(int16(2), int16(2), int16(2))
+	f.Fuzz(func(t *testing.T, a, b, c int16) {
+		sp, err := NewSpace(testSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clamp := func(v int16, card int) int16 {
+			if v < 0 {
+				return Wildcard
+			}
+			return v % int16(card)
+		}
+		p := Pattern{clamp(a, sp.Cards[0]), clamp(b, sp.Cards[1]), clamp(c, sp.Cards[2])}
+		if got := sp.DecodeKey(sp.Key(p)); !got.Equal(p) {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	})
+}
+
+// FuzzDominanceConsistency asserts that dominance implies containment:
+// whenever general dominates specific, every row matching specific also
+// matches general.
+func FuzzDominanceConsistency(f *testing.F) {
+	f.Add(int16(0), int16(-1), int16(1), int16(0), int16(2), int16(1), int32(0), int32(2), int32(1))
+	f.Fuzz(func(t *testing.T, g0, g1, g2, s0, s1, s2 int16, r0, r1, r2 int32) {
+		sp, err := NewSpace(testSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clampP := func(v int16, card int) int16 {
+			if v < 0 {
+				return Wildcard
+			}
+			return v % int16(card)
+		}
+		clampR := func(v int32, card int) int32 {
+			if v < 0 {
+				v = -v
+			}
+			return v % int32(card)
+		}
+		g := Pattern{clampP(g0, sp.Cards[0]), clampP(g1, sp.Cards[1]), clampP(g2, sp.Cards[2])}
+		s := Pattern{clampP(s0, sp.Cards[0]), clampP(s1, sp.Cards[1]), clampP(s2, sp.Cards[2])}
+		// Build a full schema row (protected slots + the unprotected
+		// charge attribute).
+		row := []int32{
+			clampR(r0, sp.Cards[0]), clampR(r1, sp.Cards[1]), clampR(r2, sp.Cards[2]), 0,
+		}
+		if Dominates(g, s) && sp.MatchRow(s, row) && !sp.MatchRow(g, row) {
+			t.Fatalf("dominance/containment broken: g=%v s=%v row=%v", g, s, row)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package pattern
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// CountAllParallel is CountAll sharded across workers: each worker
+// counts a contiguous slice of rows into a private table and the shards
+// are merged. Workers <= 0 selects GOMAXPROCS. The result is identical
+// to CountAll; the scalability experiments use it to preload the
+// hierarchy for large |X|.
+func (sp *Space) CountAllParallel(d *dataset.Dataset, workers int) Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := d.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return sp.CountAll(d)
+	}
+	shards := make([]Table, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w] = sp.countRange(d, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := shards[0]
+	for _, shard := range shards[1:] {
+		for k, c := range shard {
+			agg := out[k]
+			agg.N += c.N
+			agg.Pos += c.Pos
+			out[k] = agg
+		}
+	}
+	return out
+}
+
+// countRange is CountAll restricted to rows [lo, hi).
+func (sp *Space) countRange(d *dataset.Dataset, lo, hi int) Table {
+	dim := sp.Dim()
+	nMasks := 1 << uint(dim)
+	t := make(Table, sp.NumRegions()/2)
+	contrib := make([]uint64, dim)
+	for i := lo; i < hi; i++ {
+		row := d.Rows[i]
+		for s := 0; s < dim; s++ {
+			contrib[s] = uint64(row[sp.AttrIdx[s]]+1) << uint(5*s)
+		}
+		pos := d.Labels[i] == 1
+		for m := 0; m < nMasks; m++ {
+			var k uint64
+			mm := m
+			for mm != 0 {
+				s := bits.TrailingZeros(uint(mm))
+				k |= contrib[s]
+				mm &^= 1 << uint(s)
+			}
+			c := t[k]
+			c.Add(pos)
+			t[k] = c
+		}
+	}
+	return t
+}
+
+// SplitByMask partitions a full-lattice table into per-node tables
+// keyed by deterministic-slot mask, as the hierarchy caches them.
+func (sp *Space) SplitByMask(table Table) map[uint32]Table {
+	out := make(map[uint32]Table, 1<<uint(sp.Dim()))
+	for k, c := range table {
+		var mask uint32
+		for s := 0; s < sp.Dim(); s++ {
+			if (k>>uint(5*s))&31 != 0 {
+				mask |= 1 << uint(s)
+			}
+		}
+		t := out[mask]
+		if t == nil {
+			t = make(Table)
+			out[mask] = t
+		}
+		t[k] = c
+	}
+	return out
+}

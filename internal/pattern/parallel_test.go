@@ -1,0 +1,66 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestCountAllParallelMatchesSequential(t *testing.T) {
+	sp, d := testData(t, 1200, 41)
+	seq := sp.CountAll(d)
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		par := sp.CountAllParallel(d, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d entries vs %d", workers, len(par), len(seq))
+		}
+		for k, c := range seq {
+			if par[k] != c {
+				t.Fatalf("workers=%d key %d: %+v vs %+v", workers, k, par[k], c)
+			}
+		}
+	}
+}
+
+func TestCountAllParallelTinyData(t *testing.T) {
+	sp, d := testData(t, 3, 43)
+	par := sp.CountAllParallel(d, 8) // more workers than rows
+	seq := sp.CountAll(d)
+	if len(par) != len(seq) {
+		t.Fatalf("entries %d vs %d", len(par), len(seq))
+	}
+	for k, c := range seq {
+		if par[k] != c {
+			t.Fatal("mismatch on tiny data")
+		}
+	}
+}
+
+func TestSplitByMask(t *testing.T) {
+	sp, d := testData(t, 500, 47)
+	table := sp.CountAll(d)
+	split := sp.SplitByMask(table)
+	total := 0
+	for mask, node := range split {
+		for k, c := range node {
+			p := sp.DecodeKey(k)
+			if p.Mask() != mask {
+				t.Fatalf("key %d filed under mask %b but has mask %b", k, mask, p.Mask())
+			}
+			if table[k] != c {
+				t.Fatal("split changed counts")
+			}
+			total++
+		}
+	}
+	if total != len(table) {
+		t.Fatalf("split covers %d of %d entries", total, len(table))
+	}
+}
+
+func BenchmarkCountAllParallel(b *testing.B) {
+	sp, d := benchData(b, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.CountAllParallel(d, 4)
+	}
+}

@@ -1,0 +1,121 @@
+package remedy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// TestIncrementalEqualsRecount verifies the incremental count
+// maintenance against the full-recount ablation: for every technique
+// the two paths must produce byte-identical remedied datasets and
+// reports, because they differ only in how the hierarchy's tables are
+// kept consistent.
+func TestIncrementalEqualsRecount(t *testing.T) {
+	d := synth.CompasN(3000, 11)
+	for _, tech := range Techniques {
+		run := func(recount bool) (*Report, []int8, int) {
+			out, rep, err := Apply(d, Options{
+				Identify:  core.Config{TauC: 0.1, T: 1},
+				Technique: tech,
+				Seed:      4,
+				Recount:   recount,
+			})
+			if err != nil {
+				t.Fatalf("%s recount=%v: %v", tech, recount, err)
+			}
+			return rep, out.Labels, out.Len()
+		}
+		repInc, labInc, nInc := run(false)
+		repRec, labRec, nRec := run(true)
+		if nInc != nRec {
+			t.Fatalf("%s: sizes differ: %d vs %d", tech, nInc, nRec)
+		}
+		if repInc.Added != repRec.Added || repInc.Removed != repRec.Removed ||
+			repInc.Flipped != repRec.Flipped || repInc.BiasedRegions != repRec.BiasedRegions {
+			t.Fatalf("%s: reports differ: %+v vs %+v", tech, repInc, repRec)
+		}
+		for i := range labInc {
+			if labInc[i] != labRec[i] {
+				t.Fatalf("%s: label %d differs", tech, i)
+			}
+		}
+	}
+}
+
+// TestHierarchyIncrementalOps verifies AddRow/RemoveRow/FlipRow against
+// a recount of the mutated dataset.
+func TestHierarchyIncrementalOps(t *testing.T) {
+	d := synth.CompasN(800, 13)
+	h, err := core.NewHierarchy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize every node table so every cache entry must be kept
+	// consistent.
+	for _, mask := range h.MasksForScope(core.Lattice) {
+		h.Node(mask)
+	}
+	// Mutate: append a copy of row 0, remove row 1 (logically), flip
+	// row 2 — applying the same changes to both the dataset and the
+	// hierarchy's caches.
+	r0 := append([]int32(nil), d.Rows[0]...)
+	d.Append(r0, d.Labels[0])
+	h.AddRow(r0, d.Labels[0] == 1)
+
+	h.RemoveRow(d.Rows[1], d.Labels[1] == 1)
+	removed := d.Remove([]int{1})
+
+	// The flip targets the removed-dataset's view; find row 2's new
+	// position (indices shifted by one).
+	h.FlipRow(removed.Rows[1], removed.Labels[1] != 1)
+	removed.Labels[1] = 1 - removed.Labels[1]
+
+	// Recount from scratch and compare every node table.
+	fresh, err := core.NewHierarchy(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Totals() != fresh.Totals() {
+		t.Fatalf("totals: incremental %+v vs recount %+v", h.Totals(), fresh.Totals())
+	}
+	for _, mask := range fresh.MasksForScope(core.Lattice) {
+		want := fresh.Node(mask)
+		got := h.Node(mask)
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("mask %b key %d: incremental %+v vs recount %+v", mask, k, got[k], c)
+			}
+		}
+		// Entries the incremental path decremented to zero may remain
+		// with zero counts; they must not carry residual instances.
+		for k, c := range got {
+			if c.N != 0 && want[k] != c {
+				t.Fatalf("mask %b key %d: stale incremental entry %+v", mask, k, c)
+			}
+		}
+	}
+}
+
+func BenchmarkRemedyIncremental(b *testing.B) {
+	d := synth.AdultN(8000, 1)
+	for _, recount := range []struct {
+		name string
+		v    bool
+	}{{"incremental", false}, {"recount", true}} {
+		b.Run(recount.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Apply(d, Options{
+					Identify:  core.Config{TauC: 0.5, T: 1},
+					Technique: Massaging,
+					Seed:      1,
+					Recount:   recount.v,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

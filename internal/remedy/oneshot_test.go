@@ -1,0 +1,92 @@
+package remedy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// TestOneShotAblation quantifies the value of Algorithm 2's per-node
+// re-identification: the iterative remedy must leave no more residual
+// biased regions than the one-shot ablation (updating one region shifts
+// its neighbors' scores, which only the iterative variant observes).
+func TestOneShotAblation(t *testing.T) {
+	d := synth.Compas(3)
+	cfg := core.Config{TauC: 0.1, T: 1}
+	residual := func(oneShot bool) int {
+		out, rep, err := Apply(d, Options{
+			Identify:  cfg,
+			Technique: Massaging,
+			Seed:      5,
+			OneShot:   oneShot,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BiasedRegions == 0 {
+			t.Fatal("no biased regions found")
+		}
+		after, err := core.IdentifyOptimized(out, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(after.Regions)
+	}
+	iterative := residual(false)
+	oneShot := residual(true)
+	before, err := core.IdentifyOptimized(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both variants must shrink the IBS…
+	if iterative >= len(before.Regions) || oneShot >= len(before.Regions) {
+		t.Fatalf("remedy did not shrink IBS: %d -> iterative %d / one-shot %d",
+			len(before.Regions), iterative, oneShot)
+	}
+	// …and the iterative variant must not be worse than the ablation.
+	if iterative > oneShot {
+		t.Fatalf("iterative residual %d > one-shot %d", iterative, oneShot)
+	}
+}
+
+func TestOneShotStillHitsTargets(t *testing.T) {
+	d := singleBias(t)
+	opts := leafOpts(Massaging)
+	opts.OneShot = true
+	out, rep, err := Apply(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flipped == 0 {
+		t.Fatal("one-shot massaging flipped nothing")
+	}
+	// With one isolated biased region the ablation coincides with the
+	// full algorithm.
+	got := regionCounts(t, out, "a", "1", "b", "2").Ratio()
+	res, err := core.IdentifyOptimized(d, core.Config{TauC: 0.3, T: 1, Scope: core.Leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := res.Regions[0].NeighborRatio
+	if diff := got - rho; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("one-shot ratio %v, want ≈ %v", got, rho)
+	}
+}
+
+func TestOneShotWithRemovalsKeepsIndicesFresh(t *testing.T) {
+	// Undersampling removes rows, shifting indices; preferential
+	// sampling then ranks by score. The one-shot path must not panic or
+	// mis-rank after removals across many regions.
+	d := synth.CompasN(3000, 9)
+	for _, tech := range []Technique{Undersampling, PreferentialSampling} {
+		if _, _, err := Apply(d, Options{
+			Identify:  core.Config{TauC: 0.1, T: 1},
+			Technique: tech,
+			Seed:      2,
+			OneShot:   true,
+		}); err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+	}
+}

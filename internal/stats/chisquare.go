@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements Pearson's chi-square test of independence on a
+// contingency table, used by the synthetic-data validation tests to
+// confirm that the generators actually produce the attribute
+// correlations they claim (age ↔ marital status, race ↔ income, …).
+
+// ErrBadTable is returned for contingency tables that are too small or
+// contain an empty row/column marginal.
+var ErrBadTable = errors.New("stats: invalid contingency table")
+
+// ChiSquareResult reports a chi-square independence test.
+type ChiSquareResult struct {
+	Chi2 float64 // test statistic
+	DF   int     // (rows-1)(cols-1)
+	P    float64 // upper-tail p-value
+	// CramersV is the effect size in [0, 1]: sqrt(chi2 / (n*min(r,c)-1)).
+	CramersV float64
+}
+
+// ChiSquareIndependence tests the null hypothesis that the two
+// categorical variables of the r×c count table are independent.
+func ChiSquareIndependence(table [][]int) (ChiSquareResult, error) {
+	r := len(table)
+	if r < 2 {
+		return ChiSquareResult{}, ErrBadTable
+	}
+	c := len(table[0])
+	if c < 2 {
+		return ChiSquareResult{}, ErrBadTable
+	}
+	rowSums := make([]float64, r)
+	colSums := make([]float64, c)
+	var n float64
+	for i, row := range table {
+		if len(row) != c {
+			return ChiSquareResult{}, ErrBadTable
+		}
+		for j, v := range row {
+			if v < 0 {
+				return ChiSquareResult{}, ErrBadTable
+			}
+			rowSums[i] += float64(v)
+			colSums[j] += float64(v)
+			n += float64(v)
+		}
+	}
+	if n == 0 {
+		return ChiSquareResult{}, ErrBadTable
+	}
+	for _, s := range rowSums {
+		if s == 0 {
+			return ChiSquareResult{}, ErrBadTable
+		}
+	}
+	for _, s := range colSums {
+		if s == 0 {
+			return ChiSquareResult{}, ErrBadTable
+		}
+	}
+	var chi2 float64
+	for i := range table {
+		for j := range table[i] {
+			expected := rowSums[i] * colSums[j] / n
+			d := float64(table[i][j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	df := (r - 1) * (c - 1)
+	minDim := r
+	if c < r {
+		minDim = c
+	}
+	res := ChiSquareResult{
+		Chi2:     chi2,
+		DF:       df,
+		P:        ChiSquareTail(chi2, float64(df)),
+		CramersV: math.Sqrt(chi2 / (n * float64(minDim-1))),
+	}
+	return res, nil
+}
+
+// ChiSquareTail returns P(X >= x) for X ~ chi-square with df degrees of
+// freedom, via the regularized upper incomplete gamma function
+// Q(df/2, x/2).
+func ChiSquareTail(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regGammaQ(df/2, x/2)
+}
+
+// regGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) using the series expansion for x < a+1 and the
+// continued fraction otherwise (Numerical Recipes gammp/gammq).
+func regGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaCFQ(a, x)
+	}
+}
+
+// gammaSeriesP evaluates P(a, x) by its power series.
+func gammaSeriesP(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+}
+
+// gammaCFQ evaluates Q(a, x) by its continued fraction (modified Lentz).
+func gammaCFQ(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lgamma(a))
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareTailKnownValues(t *testing.T) {
+	// Classic table values: P(X >= 3.841 | df=1) = 0.05,
+	// P(X >= 5.991 | df=2) = 0.05, P(X >= 18.307 | df=10) = 0.05.
+	cases := []struct {
+		x, df, want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{18.307, 10, 0.05},
+		{6.635, 1, 0.01},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		if got := ChiSquareTail(c.x, c.df); math.Abs(got-c.want) > 0.0005 {
+			t.Fatalf("ChiSquareTail(%v, %v) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareTailMonotone(t *testing.T) {
+	prev := 1.1
+	for x := 0.0; x < 30; x += 0.5 {
+		v := ChiSquareTail(x, 4)
+		if v > prev+1e-12 {
+			t.Fatalf("tail not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestChiSquareIndependenceDetectsAssociation(t *testing.T) {
+	// Strongly associated table.
+	dep := [][]int{
+		{90, 10},
+		{10, 90},
+	}
+	res, err := ChiSquareIndependence(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("dependent table p = %v", res.P)
+	}
+	if res.DF != 1 {
+		t.Fatalf("df = %d", res.DF)
+	}
+	if res.CramersV < 0.5 {
+		t.Fatalf("CramersV = %v, want large", res.CramersV)
+	}
+	// Perfectly proportional (independent) table.
+	ind := [][]int{
+		{40, 60},
+		{20, 30},
+	}
+	res2, err := ChiSquareIndependence(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Chi2 > 1e-9 || res2.P < 0.99 {
+		t.Fatalf("independent table chi2=%v p=%v", res2.Chi2, res2.P)
+	}
+}
+
+func TestChiSquareKnownExample(t *testing.T) {
+	// Textbook example: chi2 ≈ 0.2, not significant.
+	table := [][]int{
+		{207, 282},
+		{231, 242},
+	}
+	res, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference chi2 = 4.10 (computed by hand for this table).
+	if math.Abs(res.Chi2-4.10) > 0.05 {
+		t.Fatalf("chi2 = %v, want ~4.10", res.Chi2)
+	}
+	if res.P > 0.05 || res.P < 0.03 {
+		t.Fatalf("p = %v, want ~0.043", res.P)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	bad := [][][]int{
+		{{1, 2}},          // one row
+		{{1}, {2}},        // one column
+		{{1, 2}, {3}},     // ragged
+		{{1, -2}, {3, 4}}, // negative
+		{{0, 0}, {1, 2}},  // empty row marginal
+		{{0, 1}, {0, 2}},  // empty column marginal
+		{{0, 0}, {0, 0}},  // empty table
+	}
+	for i, table := range bad {
+		if _, err := ChiSquareIndependence(table); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestRegGammaQEdges(t *testing.T) {
+	if got := regGammaQ(2, 0); got != 1 {
+		t.Fatalf("Q(2,0) = %v", got)
+	}
+	if got := regGammaQ(-1, 2); !math.IsNaN(got) {
+		t.Fatalf("Q(-1,2) = %v, want NaN", got)
+	}
+	// Q(1, x) = exp(-x).
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if got := regGammaQ(1, x); math.Abs(got-math.Exp(-x)) > 1e-10 {
+			t.Fatalf("Q(1,%v) = %v, want %v", x, got, math.Exp(-x))
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// AdultSize is the AdultCensus dataset size reported in Table II
+// (records remaining after dropping missing values).
+const AdultSize = 45222
+
+// AdultProtected is the paper's protected attribute set for Adult
+// (Table II, |X| = 6).
+var AdultProtected = []string{"age", "race", "gender", "marital_status", "relationship", "country"}
+
+// AdultScalabilityProtected extends the set with education and
+// occupation as in the scalability study (§V-B5, |X| up to 8).
+var AdultScalabilityProtected = append(append([]string(nil), AdultProtected...), "education", "occupation")
+
+// AdultSchema returns the 13-attribute schema of the synthetic
+// AdultCensus dataset with the paper's six protected attributes marked.
+func AdultSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Target: "income_gt_50k",
+		Attrs: []dataset.Attr{
+			{Name: "age", Values: []string{"<25", "25-34", "35-44", "45-54", "55+"}, Protected: true, Ordered: true},
+			{Name: "workclass", Values: []string{"Private", "Self-emp", "Gov", "Other"}},
+			{Name: "education", Values: []string{"HS-or-less", "Some-college", "Bachelors", "Masters", "Doctorate"}, Ordered: true},
+			{Name: "marital_status", Values: []string{"Never-married", "Married", "Divorced", "Widowed"}, Protected: true},
+			{Name: "occupation", Values: []string{"Blue-collar", "Service", "Sales", "Admin", "Professional", "Exec-managerial"}},
+			{Name: "relationship", Values: []string{"Husband", "Wife", "Own-child", "Not-in-family"}, Protected: true},
+			{Name: "race", Values: []string{"White", "Black", "Asian-Pac", "Amer-Indian", "Other"}, Protected: true},
+			{Name: "gender", Values: []string{"Male", "Female"}, Protected: true},
+			{Name: "capital_gain", Values: []string{"none", "low", "high"}, Ordered: true},
+			{Name: "capital_loss", Values: []string{"none", "low", "high"}, Ordered: true},
+			{Name: "hours", Values: []string{"<40", "40", ">40"}, Ordered: true},
+			{Name: "country", Values: []string{"US", "LatinAmerica", "Other"}, Protected: true},
+			{Name: "industry", Values: []string{"Manufacturing", "Tech", "Finance", "Public", "Other"}},
+		},
+	}
+}
+
+// Adult generates the synthetic AdultCensus dataset (45,222 rows).
+func Adult(seed int64) *dataset.Dataset { return AdultN(AdultSize, seed) }
+
+// AdultN generates n rows of the Adult distribution. The label model
+// reproduces the census income structure (education, hours, capital
+// gains, and marriage drive income; base rate ≈ 25%) and injects
+// representation bias into protected intersections: married men are
+// over-collected as positives, Black women and young Latin-American
+// immigrants as negatives — the historical employment biases the
+// paper's introduction motivates.
+func AdultN(n int, seed int64) *dataset.Dataset {
+	s := AdultSchema()
+	r := stats.NewRNG(seed)
+	d := dataset.New(s)
+
+	model := &labelModel{
+		intercept: -2.45,
+		weights: map[int][]float64{
+			0:  {-1.30, -0.20, 0.35, 0.50, 0.25},        // age
+			2:  {-0.75, -0.20, 0.55, 0.95, 1.35},        // education
+			3:  {-0.85, 0.85, -0.25, -0.35},             // marital status
+			4:  {-0.40, -0.55, 0.05, -0.05, 0.45, 0.80}, // occupation
+			7:  {0.25, -0.45},                           // gender
+			8:  {-0.10, 0.45, 1.60},                     // capital gain
+			10: {-0.55, 0.00, 0.50},                     // hours
+			12: {-0.10, 0.35, 0.45, 0.05, -0.05},        // industry
+		},
+		biases: []regionBias{
+			bias(s, 0.95, "gender", "Male", "marital_status", "Married"),
+			bias(s, 0.70, "age", "45-54", "gender", "Male", "marital_status", "Married"),
+			bias(s, 0.55, "relationship", "Wife", "race", "White"),
+			bias(s, -0.85, "race", "Black", "gender", "Female"),
+			bias(s, -0.65, "country", "LatinAmerica", "gender", "Male"),
+			bias(s, -0.50, "age", "<25", "country", "LatinAmerica"),
+			bias(s, 0.60, "race", "Asian-Pac", "education", "Masters"),
+		},
+	}
+
+	for i := 0; i < n; i++ {
+		row := make([]int32, 13)
+		row[0] = weightedPick(r, []float64{0.17, 0.27, 0.25, 0.18, 0.13}) // age
+		row[1] = weightedPick(r, []float64{0.70, 0.11, 0.14, 0.05})       // workclass
+		// Education skews with age (older cohorts hold fewer degrees).
+		ew := []float64{0.42, 0.25, 0.20, 0.09, 0.04}
+		if row[0] == 0 {
+			ew = []float64{0.55, 0.30, 0.12, 0.025, 0.005}
+		}
+		row[2] = weightedPick(r, ew)
+		// Marriage correlates with age.
+		mw := []float64{0.30, 0.48, 0.17, 0.05}
+		switch row[0] {
+		case 0:
+			mw = []float64{0.82, 0.14, 0.035, 0.005}
+		case 4:
+			mw = []float64{0.10, 0.58, 0.20, 0.12}
+		}
+		row[3] = weightedPick(r, mw)
+		// Occupation correlates with education.
+		ow := []float64{0.26, 0.18, 0.13, 0.15, 0.16, 0.12}
+		if row[2] >= 2 { // Bachelors+
+			ow = []float64{0.07, 0.07, 0.12, 0.12, 0.36, 0.26}
+		}
+		row[4] = weightedPick(r, ow)
+		row[7] = weightedPick(r, []float64{0.675, 0.325}) // gender
+		// Relationship is tied to marriage and gender.
+		switch {
+		case row[3] == 1 && row[7] == 0:
+			row[5] = 0 // Husband
+		case row[3] == 1 && row[7] == 1:
+			row[5] = 1 // Wife
+		case row[0] == 0:
+			row[5] = weightedPick(r, []float64{0, 0, 0.62, 0.38})
+		default:
+			row[5] = weightedPick(r, []float64{0, 0, 0.12, 0.88})
+		}
+		row[6] = weightedPick(r, []float64{0.855, 0.093, 0.031, 0.010, 0.011}) // race
+		row[8] = weightedPick(r, []float64{0.916, 0.042, 0.042})               // capital gain
+		row[9] = weightedPick(r, []float64{0.953, 0.027, 0.020})               // capital loss
+		// Hours: executives and professionals work longer.
+		hw := []float64{0.22, 0.47, 0.31}
+		if row[4] >= 4 {
+			hw = []float64{0.10, 0.38, 0.52}
+		}
+		row[10] = weightedPick(r, hw)
+		// Country correlates with race.
+		cw := []float64{0.91, 0.045, 0.045}
+		if row[6] == 2 { // Asian-Pac
+			cw = []float64{0.55, 0.02, 0.43}
+		}
+		row[11] = weightedPick(r, cw)
+		// Industry correlates with occupation.
+		iw := []float64{0.25, 0.13, 0.12, 0.20, 0.30}
+		if row[4] == 4 || row[4] == 5 {
+			iw = []float64{0.12, 0.28, 0.24, 0.16, 0.20}
+		}
+		row[12] = weightedPick(r, iw)
+		d.Append(row, bernoulli(r, model.prob(row)))
+	}
+	return d
+}

@@ -1,0 +1,133 @@
+// Package synth generates the three evaluation datasets of the paper —
+// AdultCensus, ProPublica/COMPAS, and Law School — as seeded synthetic
+// stand-ins. The real CSVs are not redistributable/not available
+// offline, so each generator reproduces the published characteristics
+// (Table II: attribute sets, protected attributes, row counts), realistic
+// marginals and attribute correlations, and injects *representation
+// bias* into specific intersectional regions so that the causal chain
+// the paper studies (biased collection → IBS → subgroup unfairness) is
+// present in the data. See DESIGN.md §3 for the substitution rationale.
+//
+// All generators are deterministic for a given seed.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// sigmoid is the logistic link used by every label model.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// bernoulli draws a 0/1 label with success probability p.
+func bernoulli(r *rand.Rand, p float64) int8 {
+	if r.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// regionBias adds a logit offset to every row matching a conjunction of
+// (attribute, value) assignments. These are the injected Implicit
+// Biased Sets: a strongly positive offset concentrates positives in the
+// region (ratio_r above its neighborhood), a negative offset
+// concentrates negatives.
+type regionBias struct {
+	attrs  []int // schema attribute indices
+	values []int32
+	offset float64
+}
+
+func (b regionBias) matches(row []int32) bool {
+	for k, a := range b.attrs {
+		if row[a] != b.values[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// bias is a convenience constructor resolving attribute and value names
+// against a schema. It panics on unknown names: generator tables are
+// static and a typo is a programming error.
+func bias(s *dataset.Schema, offset float64, pairs ...string) regionBias {
+	if len(pairs)%2 != 0 {
+		panic("synth: bias needs name/value pairs")
+	}
+	b := regionBias{offset: offset}
+	for i := 0; i < len(pairs); i += 2 {
+		ai := s.AttrIndex(pairs[i])
+		if ai < 0 {
+			panic("synth: unknown attribute " + pairs[i])
+		}
+		vi := s.Attrs[ai].ValueIndex(pairs[i+1])
+		if vi < 0 {
+			panic("synth: unknown value " + pairs[i+1] + " for " + pairs[i])
+		}
+		b.attrs = append(b.attrs, ai)
+		b.values = append(b.values, int32(vi))
+	}
+	return b
+}
+
+// labelModel scores a row: intercept + per-(attribute,value) weights +
+// region bias offsets, squashed through the logistic link.
+type labelModel struct {
+	intercept float64
+	weights   map[int][]float64 // attr index -> per-value logit weight
+	biases    []regionBias
+}
+
+func (m *labelModel) prob(row []int32) float64 {
+	z := m.intercept
+	for a, ws := range m.weights {
+		z += ws[row[a]]
+	}
+	for _, b := range m.biases {
+		if b.matches(row) {
+			z += b.offset
+		}
+	}
+	return sigmoid(z)
+}
+
+// weightedPick draws a domain code from an unnormalized weight vector.
+func weightedPick(r *rand.Rand, weights []float64) int32 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return int32(i)
+		}
+	}
+	return int32(len(weights) - 1)
+}
+
+// balance downersamples the majority class to the minority class size,
+// as the paper does for Law School, returning a dataset with an equal
+// number of positive and negative records.
+func balance(d *dataset.Dataset, r *rand.Rand) *dataset.Dataset {
+	var pos, neg []int
+	for i, y := range d.Labels {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	n := len(pos)
+	if len(neg) < n {
+		n = len(neg)
+	}
+	r.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	r.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	idx := append(append([]int(nil), pos[:n]...), neg[:n]...)
+	r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return d.Subset(idx)
+}

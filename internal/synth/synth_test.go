@@ -1,0 +1,251 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestCompasCharacteristics(t *testing.T) {
+	d := Compas(1)
+	if d.Len() != CompasSize {
+		t.Fatalf("rows = %d, want %d", d.Len(), CompasSize)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Schema.Attrs); got != 6 {
+		t.Fatalf("|A| = %d, want 6", got)
+	}
+	if got := len(d.Schema.ProtectedIdx()); got != 3 {
+		t.Fatalf("|X| = %d, want 3", got)
+	}
+	if br := d.BaseRate(); br < 0.35 || br > 0.55 {
+		t.Fatalf("base rate %v outside recidivism range", br)
+	}
+}
+
+// countRegion tallies (n, positives) for a conjunction of named values.
+func countRegion(d *dataset.Dataset, pairs ...string) (n, pos int) {
+	var attrs []int
+	var vals []int32
+	for i := 0; i < len(pairs); i += 2 {
+		ai := d.Schema.AttrIndex(pairs[i])
+		vi := d.Schema.Attrs[ai].ValueIndex(pairs[i+1])
+		attrs = append(attrs, ai)
+		vals = append(vals, int32(vi))
+	}
+	for i := range d.Rows {
+		if d.Match(i, attrs, vals) {
+			n++
+			if d.Labels[i] == 1 {
+				pos++
+			}
+		}
+	}
+	return n, pos
+}
+
+func ratioOf(n, pos int) float64 {
+	neg := n - pos
+	if neg == 0 {
+		return -1
+	}
+	return float64(pos) / float64(neg)
+}
+
+func TestCompasInjectedIBS(t *testing.T) {
+	d := Compas(1)
+	// The running example's region must be strongly positive-skewed…
+	n, pos := countRegion(d, "age", "25-45", "priors", ">3")
+	if n < 100 {
+		t.Fatalf("region too small: %d", n)
+	}
+	rIn := ratioOf(n, pos)
+	if rIn < 1.5 {
+		t.Fatalf("ratio in (25-45, >3 priors) = %v, want > 1.5", rIn)
+	}
+	// …while its distance-1 neighbors are much less skewed.
+	var nn, np int
+	for _, nb := range [][]string{
+		{"age", "25-45", "priors", "0"},
+		{"age", "25-45", "priors", "1-3"},
+		{"age", "<25", "priors", ">3"},
+		{"age", ">45", "priors", ">3"},
+	} {
+		a, b := countRegion(d, nb...)
+		nn += a
+		np += b
+	}
+	rOut := ratioOf(nn, np)
+	if rOut < 0 || rIn-rOut < 0.5 {
+		t.Fatalf("neighbor ratio %v vs region %v: injected bias missing", rOut, rIn)
+	}
+	// Afr-Am males carry excess positives relative to the base rate.
+	n2, pos2 := countRegion(d, "race", "Afr-Am", "sex", "Male")
+	if float64(pos2)/float64(n2) < d.BaseRate()+0.05 {
+		t.Fatalf("Afr-Am male positive rate %v not above base %v",
+			float64(pos2)/float64(n2), d.BaseRate())
+	}
+}
+
+func TestCompasDeterminism(t *testing.T) {
+	a, b := Compas(7), Compas(7)
+	for i := range a.Rows {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed must give same labels")
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("same seed must give same rows")
+			}
+		}
+	}
+	c := Compas(8)
+	diff := 0
+	for i := range a.Rows {
+		if a.Labels[i] != c.Labels[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestAdultCharacteristics(t *testing.T) {
+	d := Adult(1)
+	if d.Len() != AdultSize {
+		t.Fatalf("rows = %d, want %d", d.Len(), AdultSize)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Schema.Attrs); got != 13 {
+		t.Fatalf("|A| = %d, want 13", got)
+	}
+	if got := len(d.Schema.ProtectedIdx()); got != 6 {
+		t.Fatalf("|X| = %d, want 6", got)
+	}
+	if br := d.BaseRate(); br < 0.18 || br > 0.32 {
+		t.Fatalf("base rate %v outside census income range", br)
+	}
+}
+
+func TestAdultCorrelations(t *testing.T) {
+	d := Adult(2)
+	// Married men must out-earn the base rate; Black women must fall
+	// below it — the injected historical bias.
+	n1, p1 := countRegion(d, "gender", "Male", "marital_status", "Married")
+	n2, p2 := countRegion(d, "race", "Black", "gender", "Female")
+	base := d.BaseRate()
+	if float64(p1)/float64(n1) <= base {
+		t.Fatalf("married males %v not above base %v", float64(p1)/float64(n1), base)
+	}
+	if float64(p2)/float64(n2) >= base {
+		t.Fatalf("black females %v not below base %v", float64(p2)/float64(n2), base)
+	}
+	// Relationship/gender consistency: every Husband is male, every
+	// Wife female.
+	ri := d.Schema.AttrIndex("relationship")
+	gi := d.Schema.AttrIndex("gender")
+	for i := range d.Rows {
+		if d.Rows[i][ri] == 0 && d.Rows[i][gi] != 0 {
+			t.Fatal("female husband generated")
+		}
+		if d.Rows[i][ri] == 1 && d.Rows[i][gi] != 1 {
+			t.Fatal("male wife generated")
+		}
+	}
+}
+
+func TestAdultScalabilityProtectedSet(t *testing.T) {
+	d := Adult(3)
+	s := d.Schema.Clone()
+	if err := s.SetProtected(AdultScalabilityProtected...); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ProtectedIdx()); got != 8 {
+		t.Fatalf("|X| = %d, want 8", got)
+	}
+}
+
+func TestLawSchoolCharacteristics(t *testing.T) {
+	d := LawSchool(1)
+	if d.Len() != LawSchoolSize {
+		t.Fatalf("rows = %d, want %d", d.Len(), LawSchoolSize)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Schema.Attrs); got != 12 {
+		t.Fatalf("|A| = %d, want 12", got)
+	}
+	if got := len(d.Schema.ProtectedIdx()); got != 4 {
+		t.Fatalf("|X| = %d, want 4", got)
+	}
+	// The paper balances the label exactly.
+	if br := d.BaseRate(); math.Abs(br-0.5) > 0.001 {
+		t.Fatalf("base rate %v, want 0.5", br)
+	}
+}
+
+func TestLawSchoolInjectedBias(t *testing.T) {
+	d := LawSchool(2)
+	n1, p1 := countRegion(d, "race", "Black", "family_income", "low")
+	n2, p2 := countRegion(d, "race", "White", "family_income", "high")
+	if n1 < 30 || n2 < 30 {
+		t.Fatalf("regions too small: %d, %d", n1, n2)
+	}
+	if float64(p1)/float64(n1) >= 0.5 {
+		t.Fatalf("low-income Black pass rate %v not below 0.5", float64(p1)/float64(n1))
+	}
+	if float64(p2)/float64(n2) <= 0.5 {
+		t.Fatalf("high-income White pass rate %v not above 0.5", float64(p2)/float64(n2))
+	}
+}
+
+func TestSmallN(t *testing.T) {
+	for _, d := range []*dataset.Dataset{CompasN(500, 4), AdultN(500, 4), LawSchoolN(500, 4)} {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() == 0 {
+			t.Fatal("empty dataset")
+		}
+	}
+	if got := LawSchoolN(500, 4).Len(); got != 500 {
+		t.Fatalf("LawSchoolN(500) = %d rows", got)
+	}
+}
+
+func TestBiasHelperPanics(t *testing.T) {
+	s := CompasSchema()
+	for _, c := range [][]string{
+		{"nope", "x"},
+		{"age", "nope"},
+		{"age"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", c)
+				}
+			}()
+			bias(s, 1, c...)
+		}()
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := sigmoid(0); got != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", got)
+	}
+	if got := sigmoid(10); got < 0.999 {
+		t.Fatalf("sigmoid(10) = %v", got)
+	}
+	if got := sigmoid(-10); got > 0.001 {
+		t.Fatalf("sigmoid(-10) = %v", got)
+	}
+}

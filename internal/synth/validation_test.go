@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// contingency builds the count table of two attributes.
+func contingency(d *dataset.Dataset, a, b string) [][]int {
+	ai, bi := d.Schema.AttrIndex(a), d.Schema.AttrIndex(b)
+	table := make([][]int, d.Schema.Attrs[ai].Cardinality())
+	for i := range table {
+		table[i] = make([]int, d.Schema.Attrs[bi].Cardinality())
+	}
+	for _, row := range d.Rows {
+		table[row[ai]][row[bi]]++
+	}
+	return table
+}
+
+// labelContingency builds the attribute-vs-label count table.
+func labelContingency(d *dataset.Dataset, a string) [][]int {
+	ai := d.Schema.AttrIndex(a)
+	table := make([][]int, d.Schema.Attrs[ai].Cardinality())
+	for i := range table {
+		table[i] = make([]int, 2)
+	}
+	for i, row := range d.Rows {
+		table[row[ai]][d.Labels[i]]++
+	}
+	return table
+}
+
+func assertAssociated(t *testing.T, table [][]int, what string) {
+	t.Helper()
+	res, err := stats.ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if res.P > 0.001 {
+		t.Fatalf("%s: not associated (p=%v, chi2=%v)", what, res.P, res.Chi2)
+	}
+}
+
+// TestCompasCorrelationStructure confirms the documented dependencies
+// of the COMPAS generator actually hold in the sampled data.
+func TestCompasCorrelationStructure(t *testing.T) {
+	d := Compas(5)
+	assertAssociated(t, contingency(d, "age", "priors"), "age ↔ priors")
+	assertAssociated(t, contingency(d, "race", "priors"), "race ↔ priors")
+	assertAssociated(t, contingency(d, "age", "juv_count"), "age ↔ juvenile count")
+	assertAssociated(t, labelContingency(d, "priors"), "priors ↔ recidivism")
+	assertAssociated(t, labelContingency(d, "age"), "age ↔ recidivism")
+}
+
+// TestAdultCorrelationStructure does the same for Adult.
+func TestAdultCorrelationStructure(t *testing.T) {
+	d := Adult(5)
+	assertAssociated(t, contingency(d, "age", "marital_status"), "age ↔ marital status")
+	assertAssociated(t, contingency(d, "education", "occupation"), "education ↔ occupation")
+	assertAssociated(t, contingency(d, "race", "country"), "race ↔ country")
+	assertAssociated(t, labelContingency(d, "education"), "education ↔ income")
+	assertAssociated(t, labelContingency(d, "marital_status"), "marital status ↔ income")
+	assertAssociated(t, labelContingency(d, "capital_gain"), "capital gain ↔ income")
+}
+
+// TestLawSchoolCorrelationStructure does the same for Law School.
+func TestLawSchoolCorrelationStructure(t *testing.T) {
+	d := LawSchool(5)
+	assertAssociated(t, contingency(d, "race", "family_income"), "race ↔ family income")
+	assertAssociated(t, contingency(d, "family_income", "lsat"), "family income ↔ LSAT")
+	assertAssociated(t, contingency(d, "lsat", "ugpa"), "LSAT ↔ UGPA")
+	assertAssociated(t, labelContingency(d, "lsat"), "LSAT ↔ bar passage")
+	assertAssociated(t, labelContingency(d, "decile1"), "first-year decile ↔ bar passage")
+}
+
+// TestUncorrelatedAttributesStayIndependent guards against accidental
+// coupling: attributes the generators sample independently must not
+// show a strong association (Cramér's V stays small even when n makes
+// tiny effects "significant").
+func TestUncorrelatedAttributesStayIndependent(t *testing.T) {
+	d := Compas(5)
+	res, err := stats.ChiSquareIndependence(contingency(d, "sex", "charge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CramersV > 0.05 {
+		t.Fatalf("sex ↔ charge coupled: V=%v", res.CramersV)
+	}
+}
