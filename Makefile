@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check panicgate fuzz
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# panicgate fails if any panic() call appears in non-test library code.
+# The library's error contract is sentinel errors and context
+# cancellation; panics are reserved for tests.
+panicgate:
+	@bad=$$(grep -rn "panic(" --include="*.go" internal/ cmd/ examples/ | grep -v "_test.go" || true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic() in non-test code:"; echo "$$bad"; exit 1; \
+	fi; \
+	echo "panicgate: ok"
+
+fuzz:
+	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
+
+check: build vet panicgate race
+	@echo "all checks passed"

@@ -154,7 +154,7 @@ func BenchmarkClassifiers(b *testing.B) {
 		b.Run(string(kind), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := ml.Train(d, ml.NewClassifier(kind, benchSeed)); err != nil {
+				if _, err := ml.TrainKind(d, kind, benchSeed); err != nil {
 					b.Fatal(err)
 				}
 			}

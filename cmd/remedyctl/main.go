@@ -26,13 +26,22 @@
 // Without -input, -dataset selects a built-in synthetic dataset.
 // -mode identify accepts -tree for a Fig. 1-style hierarchy view, and
 // -mode audit accepts -save-model to export the trained model as JSON.
+//
+// Every mode honors -timeout and SIGINT: on expiry or Ctrl-C the
+// pipeline stops at the next cooperative checkpoint and -mode remedy
+// reports the partial remediation completed so far before exiting
+// non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -44,59 +53,96 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+// run parses argv and dispatches to the selected mode. Cancelling ctx
+// (SIGINT in main, or a test cancel) aborts the pipeline at its next
+// cooperative checkpoint; -timeout layers a deadline on top.
+func run(ctx context.Context, argv []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("remedyctl", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		mode      = flag.String("mode", "audit", "identify | remedy | audit | attribute")
-		input     = flag.String("input", "", "input CSV (header row; label column 0/1)")
-		target    = flag.String("target", "", "label column name (required with -input)")
-		protected = flag.String("protected", "", "comma-separated protected attribute names (required with -input)")
-		dsName    = flag.String("dataset", "propublica", "built-in dataset when -input is absent")
-		tauC      = flag.Float64("tauc", 0.1, "imbalance threshold τ_c")
-		tFlag     = flag.Int("T", 1, "neighboring-region distance threshold")
-		k         = flag.Int("k", core.DefaultMinSize, "minimum region size")
-		scopeFlag = flag.String("scope", "lattice", "identification scope: lattice | leaf | top")
-		tech      = flag.String("technique", "PS", "remedy technique: PS | US | DP | MS")
-		model     = flag.String("model", "DT", "downstream model for audit: DT | RF | LG | NN")
-		output    = flag.String("output", "", "output CSV for -mode remedy")
-		saveModel = flag.String("save-model", "", "in audit mode, save the remedied-data model as JSON")
-		tree      = flag.Bool("tree", false, "in identify mode, render the hierarchy view instead of a flat table")
-		seed      = flag.Int64("seed", 1, "random seed")
+		mode      = fs.String("mode", "audit", "identify | remedy | audit | attribute")
+		input     = fs.String("input", "", "input CSV (header row; label column 0/1)")
+		target    = fs.String("target", "", "label column name (required with -input)")
+		protected = fs.String("protected", "", "comma-separated protected attribute names (required with -input)")
+		dsName    = fs.String("dataset", "propublica", "built-in dataset when -input is absent")
+		tauC      = fs.Float64("tauc", 0.1, "imbalance threshold τ_c")
+		tFlag     = fs.Int("T", 1, "neighboring-region distance threshold")
+		k         = fs.Int("k", core.DefaultMinSize, "minimum region size")
+		scopeFlag = fs.String("scope", "lattice", "identification scope: lattice | leaf | top")
+		tech      = fs.String("technique", "PS", "remedy technique: PS | US | DP | MS")
+		model     = fs.String("model", "DT", "downstream model for audit: DT | RF | LG | NN")
+		output    = fs.String("output", "", "output CSV for -mode remedy")
+		saveModel = fs.String("save-model", "", "in audit mode, save the remedied-data model as JSON")
+		tree      = fs.Bool("tree", false, "in identify mode, render the hierarchy view instead of a flat table")
+		seed      = fs.Int64("seed", 1, "random seed")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Fail fast on configuration before any heavy work: scope, technique,
+	// and — for -mode remedy — that the output path is actually writable,
+	// so a long remediation cannot die at the final write.
+	scope, err := parseScope(*scopeFlag)
+	if err != nil {
+		return err
+	}
+	technique, err := remedy.ParseTechnique(*tech)
+	if err != nil {
+		return err
+	}
+	if *mode == "remedy" && *output != "" {
+		if err := checkWritable(*output); err != nil {
+			return err
+		}
+	}
 
 	d, err := load(*input, *target, *protected, *dsName, *seed)
 	if err != nil {
-		fatal(err)
-	}
-	scope, err := parseScope(*scopeFlag)
-	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := core.Config{TauC: *tauC, T: *tFlag, MinSize: *k, Scope: scope}
-	technique, err := remedy.ParseTechnique(*tech)
-	if err != nil {
-		fatal(err)
-	}
 
 	switch *mode {
 	case "identify":
-		err = runIdentify(d, cfg, *tree)
+		return runIdentify(ctx, d, cfg, *tree)
 	case "remedy":
-		err = runRemedy(d, cfg, technique, *output, *seed)
+		return runRemedy(ctx, d, cfg, technique, *output, *seed, errw)
 	case "audit":
-		err = runAudit(d, cfg, technique, ml.ModelKind(*model), *saveModel, *seed)
+		return runAudit(ctx, d, cfg, technique, ml.ModelKind(*model), *saveModel, *seed)
 	case "attribute":
-		err = runAttribute(d, ml.ModelKind(*model), *seed)
-	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
+		return runAttribute(ctx, d, ml.ModelKind(*model), *seed)
 	}
-	if err != nil {
-		fatal(err)
-	}
+	return fmt.Errorf("unknown mode %q", *mode)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "remedyctl:", err)
 	os.Exit(1)
+}
+
+// checkWritable verifies the output path can be created or opened for
+// writing. The file is created empty if absent; existing contents are
+// left untouched until the remedied dataset is actually written.
+func checkWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("output not writable: %w", err)
+	}
+	return f.Close()
 }
 
 func load(input, target, protected, dsName string, seed int64) (*dataset.Dataset, error) {
@@ -131,8 +177,8 @@ func parseScope(s string) (core.Scope, error) {
 	return 0, fmt.Errorf("unknown scope %q", s)
 }
 
-func runIdentify(d *dataset.Dataset, cfg core.Config, tree bool) error {
-	res, err := core.IdentifyOptimized(d, cfg)
+func runIdentify(ctx context.Context, d *dataset.Dataset, cfg core.Config, tree bool) error {
+	res, err := core.IdentifyOptimizedCtx(ctx, d, cfg)
 	if err != nil {
 		return err
 	}
@@ -158,14 +204,14 @@ func runIdentify(d *dataset.Dataset, cfg core.Config, tree bool) error {
 // runAttribute trains a model, finds its most divergent subgroups, and
 // prints the Shapley attribution of each one's divergence to its
 // pattern items.
-func runAttribute(d *dataset.Dataset, kind ml.ModelKind, seed int64) error {
+func runAttribute(ctx context.Context, d *dataset.Dataset, kind ml.ModelKind, seed int64) error {
 	train, test := d.StratifiedSplit(0.7, seed)
-	m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+	m, err := ml.TrainKindCtx(ctx, train, kind, seed)
 	if err != nil {
 		return err
 	}
 	preds := m.Predict(test)
-	rep, err := divexplorer.Explore(test, preds, fairness.FPR, divexplorer.Options{})
+	rep, err := divexplorer.ExploreCtx(ctx, test, preds, fairness.FPR, divexplorer.Options{})
 	if err != nil {
 		return err
 	}
@@ -184,9 +230,15 @@ func runAttribute(d *dataset.Dataset, kind ml.ModelKind, seed int64) error {
 	return nil
 }
 
-func runRemedy(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, output string, seed int64) error {
-	out, rep, err := remedy.Apply(d, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
+func runRemedy(ctx context.Context, d *dataset.Dataset, cfg core.Config, tech remedy.Technique, output string, seed int64, errw io.Writer) error {
+	out, rep, err := remedy.ApplyCtx(ctx, d, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
 	if err != nil {
+		if rep != nil {
+			// Interrupted mid-remediation: surface what was completed so an
+			// operator can judge how far the run got.
+			fmt.Fprintf(errw, "remedy interrupted: %d regions remedied (+%d duplicated, -%d removed, %d relabeled) before: %v\n",
+				len(rep.Actions), rep.Added, rep.Removed, rep.Flipped, err)
+		}
 		return err
 	}
 	fmt.Printf("remedied %d biased regions with %s: +%d duplicated, -%d removed, %d relabeled\n",
@@ -202,14 +254,17 @@ func runRemedy(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, outpu
 	return nil
 }
 
-func runAudit(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, kind ml.ModelKind, saveModel string, seed int64) error {
+func runAudit(ctx context.Context, d *dataset.Dataset, cfg core.Config, tech remedy.Technique, kind ml.ModelKind, saveModel string, seed int64) error {
 	train, test := d.StratifiedSplit(0.7, seed)
 	fmt.Printf("split: %d train / %d test; model %s\n", train.Len(), test.Len(), kind)
 
 	var lastClf ml.Classifier
 	show := func(label string, tr *dataset.Dataset) error {
-		clf := ml.NewClassifier(kind, seed)
-		m, err := ml.Train(tr, clf)
+		clf, err := ml.NewClassifier(kind, seed)
+		if err != nil {
+			return err
+		}
+		m, err := ml.TrainCtx(ctx, tr, clf)
 		if err != nil {
 			return err
 		}
@@ -221,7 +276,7 @@ func runAudit(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, kind m
 		}
 		fmt.Printf("%-9s accuracy=%.3f index(FPR)=%.3f index(FNR)=%.3f violation=%.4f\n",
 			label, ev.Accuracy, ev.IndexFPR, ev.IndexFNR, ev.Violation)
-		rep, err := divexplorer.Explore(test, preds, fairness.FPR, divexplorer.Options{})
+		rep, err := divexplorer.ExploreCtx(ctx, test, preds, fairness.FPR, divexplorer.Options{})
 		if err != nil {
 			return err
 		}
@@ -240,7 +295,7 @@ func runAudit(d *dataset.Dataset, cfg core.Config, tech remedy.Technique, kind m
 	if err := show("original", train); err != nil {
 		return err
 	}
-	remedied, rep, err := remedy.Apply(train, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
+	remedied, rep, err := remedy.ApplyCtx(ctx, train, remedy.Options{Identify: cfg, Technique: tech, Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -64,37 +68,102 @@ func TestLoadCSVRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRunIdentifyAndRemedy(t *testing.T) {
-	// The command handlers write to stdout; silence them through a pipe
-	// to keep test output clean while exercising the full paths.
+// silenceStdout redirects the handlers' stdout chatter to /dev/null for
+// the duration of the test.
+func silenceStdout(t *testing.T) {
+	t.Helper()
 	old := os.Stdout
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	defer func() { os.Stdout = old; devnull.Close() }()
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func TestRunIdentifyAndRemedy(t *testing.T) {
+	silenceStdout(t)
+	ctx := context.Background()
 
 	d := synth.CompasN(2000, 3)
 	cfg := core.Config{TauC: 0.1, T: 1}
-	if err := runIdentify(d, cfg, false); err != nil {
+	if err := runIdentify(ctx, d, cfg, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runIdentify(d, cfg, true); err != nil {
+	if err := runIdentify(ctx, d, cfg, true); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "repaired.csv")
-	if err := runRemedy(d, cfg, "MS", out, 1); err != nil {
+	if err := runRemedy(ctx, d, cfg, "MS", out, 1, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("remedy output not written: %v", err)
 	}
 	modelPath := filepath.Join(t.TempDir(), "model.json")
-	if err := runAudit(d, cfg, "PS", "DT", modelPath, 1); err != nil {
+	if err := runAudit(ctx, d, cfg, "PS", "DT", modelPath, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(modelPath); err != nil {
 		t.Fatalf("model not saved: %v", err)
+	}
+}
+
+// TestRunErrorPaths drives the full CLI entry point through its
+// configuration failures: each must be rejected up front, before any
+// identification or remediation work starts.
+func TestRunErrorPaths(t *testing.T) {
+	silenceStdout(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"bad technique", []string{"-mode", "remedy", "-technique", "XX"}, "technique"},
+		{"bad scope", []string{"-mode", "identify", "-scope", "sideways"}, "scope"},
+		{"missing target", []string{"-mode", "identify", "-input", "some.csv"}, "-target"},
+		{"bad mode", []string{"-mode", "frobnicate", "-dataset", "propublica"}, "mode"},
+		{"bad model kind", []string{"-mode", "audit", "-dataset", "propublica", "-model", "XGB"}, "unknown model"},
+		{"bad flag", []string{"-no-such-flag"}, "flag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(ctx, tc.argv, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tc.argv)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want mention of %q", tc.argv, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRemedyRejectsUnwritableOutput asserts the -output path is
+// validated before the remediation runs.
+func TestRunRemedyRejectsUnwritableOutput(t *testing.T) {
+	silenceStdout(t)
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "out.csv")
+	err := run(context.Background(), []string{"-mode", "remedy", "-dataset", "propublica", "-output", out}, io.Discard)
+	if err == nil {
+		t.Fatal("unwritable -output must error")
+	}
+	if !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("err = %q, want upfront writability failure", err)
+	}
+}
+
+// TestRunRemedyCancelled asserts a cancelled context aborts the remedy
+// pipeline with context.Canceled and prints the partial report.
+func TestRunRemedyCancelled(t *testing.T) {
+	silenceStdout(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var errbuf strings.Builder
+	err := run(ctx, []string{"-mode", "remedy", "-dataset", "propublica"}, &errbuf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run under cancelled ctx = %v, want context.Canceled", err)
 	}
 }

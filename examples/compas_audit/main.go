@@ -24,7 +24,11 @@ import (
 func main() {
 	data := synth.Compas(1)
 	train, test := data.StratifiedSplit(0.7, 1)
-	clf := ml.NewClassifier(ml.DT, 1).(*ml.DecisionTree)
+	base, err := ml.NewClassifier(ml.DT, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf := base.(*ml.DecisionTree)
 	model, err := ml.Train(train, clf)
 	if err != nil {
 		log.Fatal(err)

@@ -73,7 +73,7 @@ func main() {
 	data := hiringData(1)
 	train, test := data.StratifiedSplit(0.7, 1)
 
-	m, err := ml.Train(train, ml.NewClassifier(ml.DT, 1))
+	m, err := ml.TrainKind(train, ml.DT, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2, err := ml.Train(repaired, ml.NewClassifier(ml.DT, 1))
+	m2, err := ml.TrainKind(repaired, ml.DT, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func main() {
 	fmt.Println("dataset:", data)
 
 	audit := func(label string, tr *dataset.Dataset) {
-		m, err := ml.Train(tr, ml.NewClassifier(ml.RF, 1))
+		m, err := ml.TrainKind(tr, ml.RF, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

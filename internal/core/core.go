@@ -9,14 +9,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/pattern"
 )
 
@@ -202,32 +205,75 @@ func NewHierarchy(d *dataset.Dataset) (*Hierarchy, error) {
 // calls (including concurrent ones) only read. Each node's group-by is
 // independent, so the masks are fanned out across workers directly —
 // cheaper than merging one dense lattice table. workers <= 0 selects
-// GOMAXPROCS.
-func (h *Hierarchy) Preload(workers int) {
+// GOMAXPROCS. A non-nil error means the preload did not complete (a
+// counting worker panicked); the hierarchy remains usable and missing
+// tables are computed lazily.
+func (h *Hierarchy) Preload(workers int) error {
+	return h.PreloadCtx(context.Background(), workers)
+}
+
+// PreloadCtx is Preload under a context: remaining counting shards are
+// skipped once ctx is cancelled and ctx.Err() is returned. Tables that
+// finished counting are retained either way, and a panic inside a
+// counting worker is recovered into a *WorkerPanicError. All workers
+// are joined before returning.
+func (h *Hierarchy) PreloadCtx(ctx context.Context, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	masks := h.Space.Masks()
 	tables := make([]pattern.Table, len(masks))
+	errs := make([]error, len(masks))
 	sem := make(chan struct{}, workers)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
+dispatch:
 	for i, m := range masks {
 		if h.tables[m] != nil {
 			tables[i] = h.tables[m]
 			continue
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, m uint32) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &WorkerPanicError{Mask: m, Value: r, Stack: debug.Stack()}
+					cancel()
+				}
+			}()
+			if ctx.Err() != nil {
+				return
+			}
+			if faults.Active() {
+				if err := faults.Fire(faults.PreloadWorker, m); err != nil {
+					errs[i] = fmt.Errorf("core: preload node %#x: %w", m, err)
+					cancel()
+					return
+				}
+			}
 			tables[i] = h.Space.CountNode(h.Data, m)
 		}(i, m)
 	}
 	wg.Wait()
 	for i, m := range masks {
-		h.tables[m] = tables[i]
+		if tables[i] != nil {
+			h.tables[m] = tables[i]
+		}
 	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // Node returns the count table of the node identified by mask,

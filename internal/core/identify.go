@@ -1,12 +1,60 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/pattern"
 )
+
+// ctxCheckStride bounds how many regions a traversal examines between
+// cooperative cancellation checks. Small enough that a cancelled scan
+// returns promptly (well under the 100ms budget the tests assert) and
+// large enough that ctx.Err polling stays off the per-region profile.
+const ctxCheckStride = 256
+
+// canceler amortizes ctx.Err polling across a traversal: the first
+// cancelled() call polls ctx (so an already-cancelled context aborts
+// before any work, however small the space), then once per stride of
+// calls; after a poll reports cancellation the traversal unwinds and
+// the recorded error propagates.
+type canceler struct {
+	ctx   context.Context
+	count int
+	err   error
+}
+
+func (c *canceler) cancelled() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.count%ctxCheckStride != 0 {
+		c.count++
+		return false
+	}
+	c.count++
+	c.err = c.ctx.Err()
+	return c.err != nil
+}
+
+// WorkerPanicError reports a panic recovered inside a parallel
+// identification worker: the offending hierarchy node, the panic value,
+// and the worker's stack. IdentifyOptimizedCtx returns it instead of
+// letting the panic take down the process.
+type WorkerPanicError struct {
+	Mask  uint32 // deterministic-slot mask of the node being scanned
+	Value any    // recovered panic value
+	Stack []byte // worker stack at the point of the panic
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("core: identify worker panicked on node %#x: %v", e.Mask, e.Value)
+}
 
 // IdentifyNaive runs the naïve IBS identification of §III-A: for every
 // candidate region it enumerates all neighbors within distance T —
@@ -16,36 +64,53 @@ import (
 // hierarchy construction and size filter (Algorithm 1 lines 1-2) are
 // shared, but neighbor aggregates are recomputed per region.
 func IdentifyNaive(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return IdentifyNaiveCtx(context.Background(), d, cfg)
+}
+
+// IdentifyNaiveCtx is IdentifyNaive under a context: the traversal
+// checks ctx cooperatively between regions and returns the partial
+// Result accumulated so far alongside ctx.Err() when cancelled.
+func IdentifyNaiveCtx(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	h, err := NewHierarchy(d)
 	if err != nil {
 		return nil, err
 	}
-	return h.IdentifyNaive(cfg)
+	return h.IdentifyNaiveCtx(ctx, cfg)
 }
 
 // IdentifyNaive is the method form operating on an existing hierarchy,
 // reusing its memoized node tables.
 func (h *Hierarchy) IdentifyNaive(cfg Config) (*Result, error) {
+	return h.IdentifyNaiveCtx(context.Background(), cfg)
+}
+
+// IdentifyNaiveCtx is the context-aware method form. On cancellation it
+// returns the regions identified so far together with ctx.Err().
+func (h *Hierarchy) IdentifyNaiveCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(h.Space); err != nil {
 		return nil, err
 	}
 	res := &Result{Space: h.Space, Config: cfg}
 	k := cfg.minSize()
+	c := &canceler{ctx: ctx}
 	for _, mask := range h.masksForScope(cfg.Scope) {
 		node := h.Node(mask)
-		h.Space.EnumerateNode(mask, func(p pattern.Pattern) {
+		h.Space.EnumerateNodeUntil(mask, func(p pattern.Pattern) bool {
+			if c.cancelled() {
+				return false
+			}
 			rc := node[h.Space.Key(p)]
 			if rc.N <= k {
-				return
+				return true
 			}
 			res.Explored++
 			var nc pattern.Counts
 			visit := func(q pattern.Pattern) {
 				// Count the neighbor from scratch — the naïve
 				// algorithm's separate, repeated computation.
-				c := h.Space.CountPattern(h.Data, q)
-				nc.N += c.N
-				nc.Pos += c.Pos
+				cnt := h.Space.CountPattern(h.Data, q)
+				nc.N += cnt.N
+				nc.Pos += cnt.Pos
 				res.NeighborOps++
 			}
 			switch {
@@ -57,10 +122,14 @@ func (h *Hierarchy) IdentifyNaive(cfg Config) (*Result, error) {
 				h.Space.Neighbors(p, cfg.T, visit)
 			}
 			appendIfBiased(res, p, rc, nc, cfg.TauC)
+			return true
 		})
+		if c.err != nil {
+			break
+		}
 	}
 	h.sortRegions(res.Regions)
-	return res, nil
+	return res, c.err
 }
 
 // IdentifyOptimized runs Algorithm 1 (§III-B): neighborhood counts are
@@ -72,33 +141,53 @@ func (h *Hierarchy) IdentifyNaive(cfg Config) (*Result, error) {
 // the paper's formula weights nearer neighbors more heavily; the paper
 // evaluates only T = 1 and T = |X|.
 func IdentifyOptimized(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return IdentifyOptimizedCtx(context.Background(), d, cfg)
+}
+
+// IdentifyOptimizedCtx is IdentifyOptimized under a context. The
+// traversal (sequential or parallel) checks ctx cooperatively; on
+// cancellation the partial Result identified so far is returned
+// alongside ctx.Err(). A panic inside a parallel worker is recovered
+// and surfaces as a *WorkerPanicError instead of crashing the process.
+func IdentifyOptimizedCtx(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	h, err := NewHierarchy(d)
 	if err != nil {
 		return nil, err
 	}
-	return h.IdentifyOptimized(cfg)
+	return h.IdentifyOptimizedCtx(ctx, cfg)
 }
 
 // IdentifyOptimized is the method form operating on an existing
 // hierarchy.
 func (h *Hierarchy) IdentifyOptimized(cfg Config) (*Result, error) {
+	return h.IdentifyOptimizedCtx(context.Background(), cfg)
+}
+
+// IdentifyOptimizedCtx is the context-aware method form; see
+// IdentifyOptimizedCtx (package form) for the cancellation and
+// panic-recovery contract.
+func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(h.Space); err != nil {
 		return nil, err
 	}
 	if cfg.OrderedDistance || cfg.EuclideanT > 0 {
 		// The dominating-region identity assumes the basic
 		// unit-distance setting; fall back to the naïve traversal.
-		return h.IdentifyNaive(cfg)
+		return h.IdentifyNaiveCtx(ctx, cfg)
 	}
 	if cfg.Workers > 1 {
-		return h.identifyOptimizedParallel(cfg)
+		return h.identifyOptimizedParallel(ctx, cfg)
 	}
 	res := &Result{Space: h.Space, Config: cfg}
+	c := &canceler{ctx: ctx}
 	for _, mask := range h.masksForScope(cfg.Scope) {
-		h.scanNodeOptimized(mask, cfg, res)
+		h.scanNodeOptimized(mask, cfg, res, c)
+		if c.err != nil {
+			break
+		}
 	}
 	h.sortRegions(res.Regions)
-	return res, nil
+	return res, c.err
 }
 
 // identifyOptimizedParallel preloads every node table with a sharded
@@ -106,38 +195,82 @@ func (h *Hierarchy) IdentifyOptimized(cfg Config) (*Result, error) {
 // tables are read-only, so the per-node scans share them without
 // synchronization; each goroutine accumulates into a private Result and
 // the shards merge deterministically.
-func (h *Hierarchy) identifyOptimizedParallel(cfg Config) (*Result, error) {
-	h.Preload(cfg.Workers)
+//
+// Failure handling: a panic inside a worker is recovered into a
+// *WorkerPanicError carrying the node mask, and the first failure —
+// panic, injected fault, or cancellation of ctx — cancels the remaining
+// shards. All workers are joined before returning, so no goroutines
+// outlive the call; completed shards still merge into the returned
+// (partial) Result.
+func (h *Hierarchy) identifyOptimizedParallel(ctx context.Context, cfg Config) (*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := h.PreloadCtx(ctx, cfg.Workers); err != nil {
+		return &Result{Space: h.Space, Config: cfg}, err
+	}
 	masks := h.masksForScope(cfg.Scope)
 	shards := make([]*Result, len(masks))
+	errs := make([]error, len(masks))
 	sem := make(chan struct{}, cfg.Workers)
 	var wg sync.WaitGroup
+dispatch:
 	for i, mask := range masks {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, mask uint32) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &WorkerPanicError{Mask: mask, Value: r, Stack: debug.Stack()}
+					cancel() // first failure stops the remaining shards
+				}
+			}()
+			if ctx.Err() != nil {
+				return
+			}
+			if faults.Active() {
+				if err := faults.Fire(faults.IdentifyWorker, mask); err != nil {
+					errs[i] = fmt.Errorf("core: identify node %#x: %w", mask, err)
+					cancel()
+					return
+				}
+			}
 			shard := &Result{Space: h.Space, Config: cfg}
-			h.scanNodeOptimized(mask, cfg, shard)
+			h.scanNodeOptimized(mask, cfg, shard, &canceler{ctx: ctx})
 			shards[i] = shard
 		}(i, mask)
 	}
 	wg.Wait()
 	res := &Result{Space: h.Space, Config: cfg}
 	for _, shard := range shards {
+		if shard == nil {
+			continue
+		}
 		res.Regions = append(res.Regions, shard.Regions...)
 		res.Explored += shard.Explored
 		res.NeighborOps += shard.NeighborOps
 	}
 	h.sortRegions(res.Regions)
-	return res, nil
+	// Worker failures outrank plain cancellation: a panic or injected
+	// fault also cancels ctx, and reporting the cause beats reporting
+	// the symptom.
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, ctx.Err()
 }
 
 // scanNodeOptimized runs the optimized per-node identification (lines
 // 4-12 of Algorithm 1) for one hierarchy node, appending biased regions
-// to res.
-func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result) {
+// to res. The scan aborts early once c reports cancellation.
+func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result, c *canceler) {
 	node := h.Node(mask)
 	k := cfg.minSize()
 	d := levelOf(mask)
@@ -145,14 +278,18 @@ func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result) {
 	if T > d {
 		T = d
 	}
-	h.Space.EnumerateNode(mask, func(p pattern.Pattern) {
+	h.Space.EnumerateNodeUntil(mask, func(p pattern.Pattern) bool {
+		if c.cancelled() {
+			return false
+		}
 		rc := node[h.Space.Key(p)]
 		if rc.N <= k {
-			return
+			return true
 		}
 		res.Explored++
 		nc := h.neighborViaDominating(p, rc, T, res)
 		appendIfBiased(res, p, rc, nc, cfg.TauC)
+		return true
 	})
 }
 
@@ -161,13 +298,20 @@ func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result) {
 // step of Algorithm 2, which the remedy loop re-runs per node against
 // the evolving dataset.
 func (h *Hierarchy) BiasedRegionsInNode(mask uint32, cfg Config) ([]Region, error) {
+	return h.BiasedRegionsInNodeCtx(context.Background(), mask, cfg)
+}
+
+// BiasedRegionsInNodeCtx is BiasedRegionsInNode under a context; on
+// cancellation the regions found so far return alongside ctx.Err().
+func (h *Hierarchy) BiasedRegionsInNodeCtx(ctx context.Context, mask uint32, cfg Config) ([]Region, error) {
 	if err := cfg.validate(h.Space); err != nil {
 		return nil, err
 	}
 	res := &Result{Space: h.Space, Config: cfg}
-	h.scanNodeOptimized(mask, cfg, res)
+	c := &canceler{ctx: ctx}
+	h.scanNodeOptimized(mask, cfg, res, c)
 	h.sortRegions(res.Regions)
-	return res.Regions, nil
+	return res.Regions, c.err
 }
 
 // MasksForScope exposes the bottom-up node traversal order of the

@@ -38,7 +38,9 @@ func TestPreloadMatchesLazyTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eager.Preload(4)
+	if err := eager.Preload(4); err != nil {
+		t.Fatal(err)
+	}
 	for _, mask := range lazy.MasksForScope(Lattice) {
 		a := lazy.Node(mask)
 		b := eager.Node(mask)

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"repro/internal/faults"
 )
 
 // WriteCSV writes the dataset with a header row; attribute values are
@@ -93,6 +95,9 @@ func ReadCSV(r io.Reader, target string, protected []string) (*Dataset, error) {
 		if err == io.EOF {
 			break
 		}
+		if err == nil && faults.Active() {
+			err = faults.Fire(faults.CSVRecord, line)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 		}
@@ -116,7 +121,9 @@ func ReadCSV(r io.Reader, target string, protected []string) (*Dataset, error) {
 			}
 			row[ai] = c
 		}
-		d.Append(row, label)
+		if err := d.Append(row, label); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

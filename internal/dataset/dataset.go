@@ -10,10 +10,15 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrRowWidth is returned by Append and AppendWeighted when a row's
+// width does not match the schema.
+var ErrRowWidth = errors.New("dataset: row width mismatch")
 
 // Attr describes one categorical attribute.
 type Attr struct {
@@ -133,23 +138,32 @@ func (d *Dataset) EnsureWeights() {
 	}
 }
 
-// Append adds one instance. The row slice is retained, not copied.
-func (d *Dataset) Append(row []int32, label int8) {
+// Append adds one instance. The row slice is retained, not copied. A
+// row whose width does not match the schema is rejected with
+// ErrRowWidth and the dataset is left unchanged; callers that build
+// rows directly from the schema (the generators, the remedy
+// techniques) may discard the error.
+func (d *Dataset) Append(row []int32, label int8) error {
 	if len(row) != len(d.Schema.Attrs) {
-		panic(fmt.Sprintf("dataset: row width %d != schema width %d", len(row), len(d.Schema.Attrs)))
+		return fmt.Errorf("%w: row width %d != schema width %d", ErrRowWidth, len(row), len(d.Schema.Attrs))
 	}
 	d.Rows = append(d.Rows, row)
 	d.Labels = append(d.Labels, label)
 	if d.Weights != nil {
 		d.Weights = append(d.Weights, 1)
 	}
+	return nil
 }
 
-// AppendWeighted adds one instance with an explicit weight.
-func (d *Dataset) AppendWeighted(row []int32, label int8, w float64) {
+// AppendWeighted adds one instance with an explicit weight. It shares
+// Append's ErrRowWidth contract.
+func (d *Dataset) AppendWeighted(row []int32, label int8, w float64) error {
 	d.EnsureWeights()
-	d.Append(row, label)
+	if err := d.Append(row, label); err != nil {
+		return err
+	}
 	d.Weights[len(d.Weights)-1] = w
+	return nil
 }
 
 // Clone deep-copies the dataset (sharing the schema).

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -102,13 +103,17 @@ func TestAppendValidateAndCounts(t *testing.T) {
 	}
 }
 
-func TestAppendPanicsOnWidth(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on wrong row width")
-		}
-	}()
-	New(testSchema()).Append([]int32{0, 1}, 0)
+func TestAppendRejectsBadWidth(t *testing.T) {
+	d := New(testSchema())
+	if err := d.Append([]int32{0, 1}, 0); !errors.Is(err, ErrRowWidth) {
+		t.Fatalf("Append = %v, want ErrRowWidth", err)
+	}
+	if err := d.AppendWeighted([]int32{0, 1}, 0, 2); !errors.Is(err, ErrRowWidth) {
+		t.Fatalf("AppendWeighted = %v, want ErrRowWidth", err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("rejected rows must not be retained, len = %d", d.Len())
+	}
 }
 
 func TestWeights(t *testing.T) {

@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestReadCSVInjectedRecordFault injects a read error at a specific
+// record and asserts ReadCSV surfaces it with the line number.
+func TestReadCSVInjectedRecordFault(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("io timeout")
+	faults.Set(faults.CSVRecord, func(arg any) error {
+		if arg.(int) == 3 {
+			return boom
+		}
+		return nil
+	})
+	csv := "a,label\nx,1\ny,0\nz,1\n"
+	_, err := ReadCSV(strings.NewReader(csv), "label", nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("ReadCSV = %v, want injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not carry the line number", err)
+	}
+
+	// With the hook cleared the same input loads fine.
+	faults.Reset()
+	d, err := ReadCSV(strings.NewReader(csv), "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("rows = %d", d.Len())
+	}
+}

@@ -23,10 +23,40 @@ func FuzzReadCSV(f *testing.F) {
 		if err := d.Validate(); err != nil {
 			t.Fatalf("loaded dataset fails validation: %v", err)
 		}
-		// Round-trip: anything we can load we can write and reload.
+		// Round-trip: anything we can load we can write, reload, and get
+		// the same dataset back (modulo the target column moving last,
+		// which WriteCSV canonicalizes).
 		var buf bytes.Buffer
 		if err := d.WriteCSV(&buf); err != nil {
 			t.Fatalf("write-back failed: %v", err)
+		}
+		d2, err := ReadCSV(bytes.NewReader(buf.Bytes()), target, []string{"a"})
+		if err != nil {
+			t.Fatalf("reload failed: %v\ncsv:\n%s", err, buf.Bytes())
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("reload row count %d != %d", d2.Len(), d.Len())
+		}
+		if len(d2.Schema.Attrs) != len(d.Schema.Attrs) {
+			t.Fatalf("reload attr count %d != %d", len(d2.Schema.Attrs), len(d.Schema.Attrs))
+		}
+		for j, a := range d.Schema.Attrs {
+			a2 := d2.Schema.Attrs[j]
+			if a2.Name != a.Name || a2.Protected != a.Protected {
+				t.Fatalf("attr %d mismatch: %+v vs %+v", j, a2, a)
+			}
+		}
+		for i := range d.Rows {
+			if d2.Labels[i] != d.Labels[i] {
+				t.Fatalf("row %d label %d != %d", i, d2.Labels[i], d.Labels[i])
+			}
+			for j, v := range d.Rows[i] {
+				got := d2.Schema.Attrs[j].Values[d2.Rows[i][j]]
+				want := d.Schema.Attrs[j].Values[v]
+				if got != want {
+					t.Fatalf("row %d attr %d value %q != %q", i, j, got, want)
+				}
+			}
 		}
 	})
 }

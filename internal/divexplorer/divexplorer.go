@@ -9,6 +9,7 @@
 package divexplorer
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -86,6 +87,21 @@ func (c confCell) conf() ml.Confusion {
 // every subgroup of the protected-attribute lattice with support at
 // least opts.MinSupport.
 func Explore(d *dataset.Dataset, preds []int, stat fairness.Statistic, opts Options) (*Report, error) {
+	return ExploreCtx(context.Background(), d, preds, stat, opts)
+}
+
+// exploreCheckStride bounds how many rows (counting pass) or cells
+// (ranking pass) are processed between ctx polls.
+const exploreCheckStride = 1024
+
+// ExploreCtx is Explore under a context: the counting pass checks ctx
+// every exploreCheckStride rows and the ranking pass every
+// exploreCheckStride subgroups, returning ctx.Err() and no report once
+// cancelled.
+func ExploreCtx(ctx context.Context, d *dataset.Dataset, preds []int, stat fairness.Statistic, opts Options) (*Report, error) {
+	if err := stat.Validate(); err != nil {
+		return nil, err
+	}
 	if len(preds) != d.Len() {
 		return nil, fmt.Errorf("divexplorer: %d predictions for %d instances", len(preds), d.Len())
 	}
@@ -105,6 +121,11 @@ func Explore(d *dataset.Dataset, preds []int, stat fairness.Statistic, opts Opti
 	cells := make(map[uint64]confCell, 1024)
 	contrib := make([]uint64, dim)
 	for i, row := range d.Rows {
+		if i%exploreCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for s := 0; s < dim; s++ {
 			contrib[s] = uint64(row[sp.AttrIdx[s]]+1) << uint(5*s)
 		}
@@ -144,7 +165,14 @@ func Explore(d *dataset.Dataset, preds []int, stat fairness.Statistic, opts Opti
 	totalBaseN, totalBaseK := stat.BaseCount(overall)
 
 	minN := int(opts.MinSupport * float64(d.Len()))
+	scanned := 0
 	for k, cell := range cells {
+		scanned++
+		if scanned%exploreCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if k == rootKey {
 			continue
 		}

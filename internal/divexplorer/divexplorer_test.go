@@ -283,7 +283,7 @@ func TestExploreOnSyntheticCompas(t *testing.T) {
 	// subgroups, echoing Example 1.
 	d := synth.Compas(1)
 	train, test := d.StratifiedSplit(0.7, 1)
-	m, err := ml.Train(train, ml.NewClassifier(ml.DT, 1))
+	m, err := ml.TrainKind(train, ml.DT, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

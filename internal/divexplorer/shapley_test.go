@@ -101,7 +101,7 @@ func TestShapleyErrors(t *testing.T) {
 func TestAttributeWorst(t *testing.T) {
 	d := synth.CompasN(3000, 31)
 	train, test := d.StratifiedSplit(0.7, 1)
-	m, err := ml.Train(train, ml.NewClassifier(ml.DT, 1))
+	m, err := ml.TrainKind(train, ml.DT, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,7 +74,7 @@ type EvalResult struct {
 // test: fairness indices under both statistics, accuracy, and the
 // violation metric of Table III.
 func Evaluate(train, test *dataset.Dataset, kind ml.ModelKind, seed int64) (EvalResult, error) {
-	m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+	m, err := ml.TrainKind(train, kind, seed)
 	if err != nil {
 		return EvalResult{}, err
 	}

@@ -71,7 +71,7 @@ func Fig3(stat fairness.Statistic, seed int64, quick bool) (*Fig3Result, error) 
 	found := map[uint64]*agg{}
 	var sp *pattern.Space
 	for _, kind := range ml.AllModels {
-		m, err := ml.Train(train, ml.NewClassifier(kind, seed))
+		m, err := ml.TrainKind(train, kind, seed)
 		if err != nil {
 			return nil, err
 		}

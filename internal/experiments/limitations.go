@@ -70,7 +70,10 @@ func Limitations(dsName string, seed int64, quick bool) (*LimitationsResult, err
 	for _, s := range settings {
 		cs := ml.CostSensitive{FPCost: s.fpCost, FNCost: s.fnCost}
 		evalWith := func(tr *dataset.Dataset) (EvalResult, error) {
-			base := ml.NewClassifier(ml.DT, seed)
+			base, err := ml.NewClassifier(ml.DT, seed)
+			if err != nil {
+				return EvalResult{}, err
+			}
 			m, err := ml.Train(tr, ml.CostSensitive{Base: base, FPCost: s.fpCost, FNCost: s.fnCost})
 			if err != nil {
 				return EvalResult{}, err

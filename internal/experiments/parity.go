@@ -34,7 +34,7 @@ type ParityResult struct {
 // parityOf trains a decision tree on train and returns the
 // statistical-parity fairness index and accuracy on test.
 func parityOf(train, test *dataset.Dataset, seed int64) (index, accuracy float64, err error) {
-	m, err := ml.Train(train, ml.NewClassifier(ml.DT, seed))
+	m, err := ml.TrainKind(train, ml.DT, seed)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -46,7 +46,7 @@ func Table3(seed int64, quick bool) (*Table3Result, error) {
 	res := &Table3Result{}
 
 	trainLG := func(tr *dataset.Dataset) ([]int, error) {
-		m, err := ml.Train(tr, ml.NewClassifier(ml.LG, seed))
+		m, err := ml.TrainKind(tr, ml.LG, seed)
 		if err != nil {
 			return nil, err
 		}

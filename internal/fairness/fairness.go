@@ -7,6 +7,7 @@
 package fairness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -15,6 +16,10 @@ import (
 
 // Statistic is a model statistic γ computable from a confusion matrix.
 type Statistic string
+
+// ErrUnknownStatistic is returned by Statistic.Validate for a value
+// outside the defined vocabulary.
+var ErrUnknownStatistic = errors.New("fairness: unknown statistic")
 
 const (
 	// FPR is the false-positive rate Pr[h(x)=1 | y=0] (predictive
@@ -32,7 +37,21 @@ const (
 	ErrorRate Statistic = "ErrorRate"
 )
 
-// Of evaluates the statistic on a confusion matrix.
+// Validate reports whether s is one of the defined statistics,
+// returning ErrUnknownStatistic otherwise. Entry points that accept a
+// caller-supplied Statistic (divexplorer.Explore, the audit CLIs)
+// validate up front so the NaN fallback of Of never reaches results.
+func (s Statistic) Validate() error {
+	switch s {
+	case FPR, FNR, PositiveRate, Accuracy, ErrorRate:
+		return nil
+	}
+	return fmt.Errorf("%w %q", ErrUnknownStatistic, s)
+}
+
+// Of evaluates the statistic on a confusion matrix. An unknown
+// statistic evaluates to NaN; use Validate to reject it with an error
+// instead.
 func (s Statistic) Of(c ml.Confusion) float64 {
 	switch s {
 	case FPR:
@@ -46,7 +65,7 @@ func (s Statistic) Of(c ml.Confusion) float64 {
 	case ErrorRate:
 		return c.ErrorRate()
 	}
-	panic(fmt.Sprintf("fairness: unknown statistic %q", s))
+	return math.NaN()
 }
 
 // BaseCount returns the size of the statistic's conditioning population
@@ -66,7 +85,9 @@ func (s Statistic) BaseCount(c ml.Confusion) (n, successes int) {
 	case ErrorRate:
 		return int(c.TP + c.FP + c.TN + c.FN), int(c.FP + c.FN)
 	}
-	panic(fmt.Sprintf("fairness: unknown statistic %q", s))
+	// Unknown statistics have an empty conditioning population; Validate
+	// is the error-returning guard.
+	return 0, 0
 }
 
 // Divergence is Δγ_g = |γ_g − γ_d|, the behavioral distinction between

@@ -1,6 +1,7 @@
 package fairness
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -30,13 +31,22 @@ func TestStatisticOf(t *testing.T) {
 	}
 }
 
-func TestStatisticOfUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestUnknownStatistic(t *testing.T) {
+	bad := Statistic("nope")
+	if err := bad.Validate(); !errors.Is(err, ErrUnknownStatistic) {
+		t.Fatalf("Validate = %v, want ErrUnknownStatistic", err)
+	}
+	if v := bad.Of(conf(1, 1, 1, 1)); !math.IsNaN(v) {
+		t.Fatalf("unknown statistic Of = %v, want NaN", v)
+	}
+	if n, k := bad.BaseCount(conf(1, 1, 1, 1)); n != 0 || k != 0 {
+		t.Fatalf("unknown statistic BaseCount = %d/%d, want 0/0", k, n)
+	}
+	for _, s := range []Statistic{FPR, FNR, PositiveRate, Accuracy, ErrorRate} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s.Validate = %v", s, err)
 		}
-	}()
-	Statistic("nope").Of(conf(1, 1, 1, 1))
+	}
 }
 
 func TestBaseCount(t *testing.T) {

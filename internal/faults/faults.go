@@ -1,0 +1,105 @@
+// Package faults is a deterministic fault-injection harness for the
+// pipeline's robustness tests. Production code fires named injection
+// points at the boundaries where real deployments fail — worker
+// goroutines, CSV decoding, the remedy loop — and tests install hooks
+// that force the failure they want to observe: a panic inside a
+// parallel identify worker, a read error mid-CSV, a context
+// cancellation between remedy nodes.
+//
+// The harness is test-only in effect but lives in the library so the
+// injection points compile into the real code paths: what the tests
+// exercise is exactly what production runs. When no hook is installed
+// (the production state) a fired point costs a single atomic load.
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one injection site.
+type Point string
+
+const (
+	// IdentifyWorker fires at the start of every parallel identify
+	// worker's node scan. The argument is the node's uint32 mask. A
+	// panicking hook simulates a worker crash; the identify layer must
+	// convert it into an error.
+	IdentifyWorker Point = "core.identify.worker"
+	// PreloadWorker fires at the start of every hierarchy preload
+	// counting shard. The argument is the node's uint32 mask.
+	PreloadWorker Point = "core.preload.worker"
+	// CSVRecord fires once per decoded CSV record. The argument is the
+	// 1-based line number (int). A non-nil error aborts the load as a
+	// read error would.
+	CSVRecord Point = "dataset.csv.record"
+	// RemedyNode fires before each remedy node is processed. The
+	// argument is the node's uint32 mask. Hooks typically cancel a
+	// context here to test mid-remedy cancellation, or return an error
+	// to simulate a failing dependency.
+	RemedyNode Point = "remedy.node"
+	// TrainEpoch fires once per training epoch/tree of the context-aware
+	// learners. The argument is the epoch or tree index (int).
+	TrainEpoch Point = "ml.train.epoch"
+)
+
+// Hook is an injected behavior. Returning a non-nil error makes the
+// host code path fail as if a real dependency had failed; a hook may
+// also panic (only meaningful at points documented to recover) or
+// block/sleep to simulate slowness.
+type Hook func(arg any) error
+
+var (
+	active atomic.Int32 // number of installed hooks; 0 = fast path
+	mu     sync.RWMutex
+	hooks  = map[Point]Hook{}
+)
+
+// Active reports whether any hook is installed. Call sites use it to
+// skip the map lookup on the hot path.
+func Active() bool { return active.Load() > 0 }
+
+// Set installs the hook for p, replacing any previous hook. Tests must
+// pair it with Clear (or Reset) — typically via t.Cleanup.
+func Set(p Point, h Hook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := hooks[p]; !dup {
+		active.Add(1)
+	}
+	hooks[p] = h
+}
+
+// Clear removes the hook for p, if any.
+func Clear(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[p]; ok {
+		delete(hooks, p)
+		active.Add(-1)
+	}
+}
+
+// Reset removes every installed hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = map[Point]Hook{}
+	active.Store(0)
+}
+
+// Fire invokes the hook installed at p with arg and returns its error.
+// With no hook installed it returns nil. Panics propagate to the
+// caller by design: that is how worker-crash injection works.
+func Fire(p Point, arg any) error {
+	if !Active() {
+		return nil
+	}
+	mu.RLock()
+	h := hooks[p]
+	mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h(arg)
+}

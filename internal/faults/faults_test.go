@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireWithoutHook(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("no hooks installed but Active() = true")
+	}
+	if err := Fire(CSVRecord, 1); err != nil {
+		t.Fatalf("unhooked Fire returned %v", err)
+	}
+}
+
+func TestSetFireClear(t *testing.T) {
+	t.Cleanup(Reset)
+	want := errors.New("boom")
+	Set(CSVRecord, func(arg any) error {
+		if arg.(int) != 7 {
+			t.Fatalf("arg = %v", arg)
+		}
+		return want
+	})
+	if !Active() {
+		t.Fatal("hook installed but Active() = false")
+	}
+	if err := Fire(CSVRecord, 7); !errors.Is(err, want) {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	// Other points stay unhooked.
+	if err := Fire(RemedyNode, uint32(3)); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	Clear(CSVRecord)
+	if Active() {
+		t.Fatal("Clear left Active() = true")
+	}
+	if err := Fire(CSVRecord, 7); err != nil {
+		t.Fatalf("cleared hook still fires: %v", err)
+	}
+}
+
+func TestSetReplacesWithoutLeakingActiveCount(t *testing.T) {
+	t.Cleanup(Reset)
+	Set(RemedyNode, func(any) error { return nil })
+	Set(RemedyNode, func(any) error { return errors.New("second") })
+	if err := Fire(RemedyNode, uint32(0)); err == nil {
+		t.Fatal("replacement hook not installed")
+	}
+	Clear(RemedyNode)
+	if Active() {
+		t.Fatal("double Set / single Clear leaked the active count")
+	}
+}
+
+func TestHookPanicPropagates(t *testing.T) {
+	t.Cleanup(Reset)
+	Set(IdentifyWorker, func(any) error { panic("injected crash") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hook panic did not propagate")
+		}
+	}()
+	_ = Fire(IdentifyWorker, uint32(1))
+}

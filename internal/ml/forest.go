@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/stats"
@@ -46,6 +47,12 @@ func NewRandomForest(p ForestParams) *RandomForest {
 // instances are resampled proportionally to their weight, which is how
 // the reweighting baselines influence tree ensembles.
 func (f *RandomForest) Fit(x [][]float64, y []float64, w []float64) error {
+	return f.FitCtx(context.Background(), x, y, w)
+}
+
+// FitCtx is Fit with a per-tree cancellation check; on cancellation the
+// trees grown so far are discarded and ctx.Err() is returned.
+func (f *RandomForest) FitCtx(ctx context.Context, x [][]float64, y []float64, w []float64) error {
 	if err := checkTrainingInput(x, y, w); err != nil {
 		return err
 	}
@@ -61,6 +68,10 @@ func (f *RandomForest) Fit(x [][]float64, y []float64, w []float64) error {
 	}
 	f.trees = make([]*DecisionTree, f.Params.Trees)
 	for t := range f.trees {
+		if err := epochTick(ctx, t); err != nil {
+			f.trees = nil // half an ensemble is a silently different model
+			return err
+		}
 		// Weighted bootstrap.
 		bx := make([][]float64, n)
 		by := make([]float64, n)
@@ -80,7 +91,8 @@ func (f *RandomForest) Fit(x [][]float64, y []float64, w []float64) error {
 			MinLeafWeight: f.Params.MinLeafWeight,
 			Seed:          rng.Int63(),
 		})
-		if err := tree.Fit(bx, by, nil); err != nil {
+		if err := tree.FitCtx(ctx, bx, by, nil); err != nil {
+			f.trees = nil
 			return err
 		}
 		f.trees[t] = tree

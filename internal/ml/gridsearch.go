@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -19,21 +20,25 @@ const (
 // AllModels lists the classifiers in the paper's order.
 var AllModels = []ModelKind{DT, RF, LG, NN}
 
+// ErrUnknownModel is returned for a ModelKind outside AllModels.
+var ErrUnknownModel = errors.New("ml: unknown model kind")
+
 // NewClassifier constructs a classifier of the given kind with the
 // repository's tuned default hyperparameters (chosen by GridSearch on
-// the synthetic datasets; see experiments).
-func NewClassifier(kind ModelKind, seed int64) Classifier {
+// the synthetic datasets; see experiments). An unrecognized kind
+// returns ErrUnknownModel.
+func NewClassifier(kind ModelKind, seed int64) (Classifier, error) {
 	switch kind {
 	case DT:
-		return NewDecisionTree(TreeParams{MaxDepth: 10, MinLeafWeight: 5, Seed: seed})
+		return NewDecisionTree(TreeParams{MaxDepth: 10, MinLeafWeight: 5, Seed: seed}), nil
 	case RF:
-		return NewRandomForest(ForestParams{Trees: 30, MaxDepth: 10, Seed: seed})
+		return NewRandomForest(ForestParams{Trees: 30, MaxDepth: 10, Seed: seed}), nil
 	case LG:
-		return NewLogisticRegression(LogRegParams{Epochs: 150, LearningRate: 0.8, L2: 1e-4, Seed: seed})
+		return NewLogisticRegression(LogRegParams{Epochs: 150, LearningRate: 0.8, L2: 1e-4, Seed: seed}), nil
 	case NN:
-		return NewNeuralNetwork(NNParams{Hidden: 16, Epochs: 8, LearningRate: 0.1, Seed: seed})
+		return NewNeuralNetwork(NNParams{Hidden: 16, Epochs: 8, LearningRate: 0.1, Seed: seed}), nil
 	}
-	panic(fmt.Sprintf("ml: unknown model kind %q", kind))
+	return nil, fmt.Errorf("%w %q", ErrUnknownModel, kind)
 }
 
 // GridPoint is one hyperparameter assignment: a factory plus its
@@ -97,8 +102,9 @@ func GridSearch(d *dataset.Dataset, points []GridPoint, k int, seed int64) ([]Gr
 }
 
 // DefaultGrid returns a small hyperparameter grid for the given model
-// kind, in the spirit of the paper's tuning.
-func DefaultGrid(kind ModelKind) []GridPoint {
+// kind, in the spirit of the paper's tuning. An unrecognized kind
+// returns ErrUnknownModel.
+func DefaultGrid(kind ModelKind) ([]GridPoint, error) {
 	switch kind {
 	case DT:
 		var pts []GridPoint
@@ -113,7 +119,7 @@ func DefaultGrid(kind ModelKind) []GridPoint {
 				})
 			}
 		}
-		return pts
+		return pts, nil
 	case RF:
 		var pts []GridPoint
 		for _, trees := range []int{10, 30} {
@@ -127,7 +133,7 @@ func DefaultGrid(kind ModelKind) []GridPoint {
 				})
 			}
 		}
-		return pts
+		return pts, nil
 	case LG:
 		var pts []GridPoint
 		for _, lr := range []float64{0.3, 0.8} {
@@ -141,7 +147,7 @@ func DefaultGrid(kind ModelKind) []GridPoint {
 				})
 			}
 		}
-		return pts
+		return pts, nil
 	case NN:
 		var pts []GridPoint
 		for _, hidden := range []int{8, 16} {
@@ -155,7 +161,7 @@ func DefaultGrid(kind ModelKind) []GridPoint {
 				})
 			}
 		}
-		return pts
+		return pts, nil
 	}
-	panic(fmt.Sprintf("ml: unknown model kind %q", kind))
+	return nil, fmt.Errorf("%w %q", ErrUnknownModel, kind)
 }

@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // LogRegParams configures logistic regression.
 type LogRegParams struct {
@@ -42,6 +45,12 @@ func NewLogisticRegression(p LogRegParams) *LogisticRegression {
 // Fit trains by full-batch gradient descent. Sample weights scale each
 // instance's gradient contribution.
 func (l *LogisticRegression) Fit(x [][]float64, y []float64, w []float64) error {
+	return l.FitCtx(context.Background(), x, y, w)
+}
+
+// FitCtx is Fit with a per-epoch cancellation check; on cancellation
+// the partially descended weights remain and ctx.Err() is returned.
+func (l *LogisticRegression) FitCtx(ctx context.Context, x [][]float64, y []float64, w []float64) error {
 	if err := checkTrainingInput(x, y, w); err != nil {
 		return err
 	}
@@ -61,6 +70,9 @@ func (l *LogisticRegression) Fit(x [][]float64, y []float64, w []float64) error 
 	grad := make([]float64, nf)
 	lr := l.Params.LearningRate
 	for epoch := 0; epoch < l.Params.Epochs; epoch++ {
+		if err := epochTick(ctx, epoch); err != nil {
+			return err
+		}
 		for i := range grad {
 			grad[i] = 0
 		}

@@ -8,9 +8,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 )
 
 // Classifier is a binary probabilistic classifier over float feature
@@ -20,6 +22,15 @@ type Classifier interface {
 	Fit(x [][]float64, y []float64, w []float64) error
 	PredictProba(x []float64) float64
 	Predict(x []float64) int
+}
+
+// ContextFitter is implemented by classifiers whose training loop can
+// be cancelled: FitCtx checks ctx cooperatively (per epoch for the
+// iterative learners, per tree for the forest) and returns ctx.Err()
+// once cancelled, leaving the model partially trained. All four
+// built-in classifiers implement it.
+type ContextFitter interface {
+	FitCtx(ctx context.Context, x [][]float64, y []float64, w []float64) error
 }
 
 // threshold converts a probability into a hard 0/1 prediction.
@@ -59,6 +70,18 @@ func checkTrainingInput(x [][]float64, y []float64, w []float64) error {
 	return nil
 }
 
+// epochTick is the shared cooperative checkpoint of the context-aware
+// training loops: it fires the ml.train.epoch fault-injection point
+// with the epoch (or tree) index and then polls ctx.
+func epochTick(ctx context.Context, epoch int) error {
+	if faults.Active() {
+		if err := faults.Fire(faults.TrainEpoch, epoch); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
 // ones returns a unit weight vector of length n.
 func ones(n int) []float64 {
 	w := make([]float64, n)
@@ -77,12 +100,45 @@ type Model struct {
 
 // Train encodes d and fits clf on it, returning the bound model.
 func Train(d *dataset.Dataset, clf Classifier) (*Model, error) {
+	return TrainCtx(context.Background(), d, clf)
+}
+
+// TrainCtx is Train under a context. When clf implements ContextFitter
+// the training loop itself checks ctx (per epoch or per tree) and
+// aborts promptly with ctx.Err(); otherwise ctx is only consulted
+// before training starts.
+func TrainCtx(ctx context.Context, d *dataset.Dataset, clf Classifier) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	enc := dataset.NewEncoding(d.Schema)
 	x, y, w := enc.Encode(d)
-	if err := clf.Fit(x, y, w); err != nil {
+	var err error
+	if cf, ok := clf.(ContextFitter); ok {
+		err = cf.FitCtx(ctx, x, y, w)
+	} else {
+		err = clf.Fit(x, y, w)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return &Model{Enc: enc, Clf: clf}, nil
+}
+
+// TrainKind constructs the default classifier of the given kind (see
+// NewClassifier) and trains it on d — the common train-by-name path of
+// the experiments and CLIs. An unknown kind returns ErrUnknownModel.
+func TrainKind(d *dataset.Dataset, kind ModelKind, seed int64) (*Model, error) {
+	return TrainKindCtx(context.Background(), d, kind, seed)
+}
+
+// TrainKindCtx is TrainKind under a context; see TrainCtx.
+func TrainKindCtx(ctx context.Context, d *dataset.Dataset, kind ModelKind, seed int64) (*Model, error) {
+	clf, err := NewClassifier(kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	return TrainCtx(ctx, d, clf)
 }
 
 // Predict returns hard predictions for every instance of d.

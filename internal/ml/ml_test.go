@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -414,7 +415,10 @@ func TestModelTrainPredict(t *testing.T) {
 
 func TestNewClassifierKinds(t *testing.T) {
 	for _, k := range AllModels {
-		c := NewClassifier(k, 1)
+		c, err := NewClassifier(k, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
 		if c == nil {
 			t.Fatalf("nil classifier for %s", k)
 		}
@@ -423,12 +427,9 @@ func TestNewClassifierKinds(t *testing.T) {
 			t.Fatalf("%s: %v", k, err)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown kind must panic")
-		}
-	}()
-	NewClassifier(ModelKind("nope"), 1)
+	if _, err := NewClassifier(ModelKind("nope"), 1); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown kind = %v, want ErrUnknownModel", err)
+	}
 }
 
 func TestGridSearch(t *testing.T) {
@@ -476,7 +477,10 @@ func TestGridSearch(t *testing.T) {
 
 func TestDefaultGrids(t *testing.T) {
 	for _, k := range AllModels {
-		grid := DefaultGrid(k)
+		grid, err := DefaultGrid(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
 		if len(grid) < 2 {
 			t.Fatalf("grid for %s too small", k)
 		}
@@ -485,6 +489,9 @@ func TestDefaultGrids(t *testing.T) {
 				t.Fatalf("bad grid point for %s", k)
 			}
 		}
+	}
+	if _, err := DefaultGrid(ModelKind("nope")); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown grid = %v, want ErrUnknownModel", err)
 	}
 }
 

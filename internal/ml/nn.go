@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/stats"
@@ -58,6 +59,12 @@ func NewNeuralNetwork(p NNParams) *NeuralNetwork {
 
 // Fit trains the network.
 func (n *NeuralNetwork) Fit(x [][]float64, y []float64, w []float64) error {
+	return n.FitCtx(context.Background(), x, y, w)
+}
+
+// FitCtx is Fit with a per-epoch cancellation check; on cancellation
+// the partially trained weights remain and ctx.Err() is returned.
+func (n *NeuralNetwork) FitCtx(ctx context.Context, x [][]float64, y []float64, w []float64) error {
 	if err := checkTrainingInput(x, y, w); err != nil {
 		return err
 	}
@@ -88,6 +95,9 @@ func (n *NeuralNetwork) Fit(x [][]float64, y []float64, w []float64) error {
 	hidden := make([]float64, h)
 	lr := n.Params.LearningRate
 	for epoch := 0; epoch < n.Params.Epochs; epoch++ {
+		if err := epochTick(ctx, epoch); err != nil {
+			return err
+		}
 		stats.Shuffle(rng, idx)
 		for start := 0; start < len(idx); start += n.Params.BatchSize {
 			end := start + n.Params.BatchSize

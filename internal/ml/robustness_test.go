@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/synth"
+)
+
+func TestTrainCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := synth.CompasN(300, 41)
+	for _, kind := range AllModels {
+		clf, err := NewClassifier(kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TrainCtx(ctx, d, clf); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: TrainCtx = %v, want context.Canceled", kind, err)
+		}
+	}
+}
+
+// TestTrainEpochFault injects a failure at a mid-training epoch for
+// each context-aware learner and asserts it aborts with the injected
+// error rather than returning a silently half-trained model.
+func TestTrainEpochFault(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("epoch checkpoint failed")
+	faults.Set(faults.TrainEpoch, func(arg any) error {
+		if arg.(int) == 2 {
+			return boom
+		}
+		return nil
+	})
+	d := synth.CompasN(300, 43)
+	for _, kind := range []ModelKind{LG, NN, RF} {
+		clf, err := NewClassifier(kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Train(d, clf); !errors.Is(err, boom) {
+			t.Fatalf("%s: Train = %v, want injected fault", kind, err)
+		}
+	}
+}
+
+// TestForestCancelDiscardsPartialEnsemble cancels forest training
+// after a few trees and asserts no partial ensemble survives.
+func TestForestCancelDiscardsPartialEnsemble(t *testing.T) {
+	defer faults.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	faults.Set(faults.TrainEpoch, func(arg any) error {
+		if arg.(int) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	f := NewRandomForest(ForestParams{Trees: 10, Seed: 1})
+	d := synth.CompasN(300, 45)
+	enc := dataset.NewEncoding(d.Schema)
+	x, y, w := enc.Encode(d)
+	if err := f.FitCtx(ctx, x, y, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitCtx = %v, want context.Canceled", err)
+	}
+	if f.trees != nil {
+		t.Fatal("cancelled forest must discard its partial ensemble")
+	}
+	if p := f.PredictProba(make([]float64, enc.Width())); p != 0.5 {
+		t.Fatalf("untrained forest proba = %v, want 0.5", p)
+	}
+}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -65,6 +66,13 @@ func NewDecisionTree(p TreeParams) *DecisionTree {
 
 // Fit trains the tree.
 func (t *DecisionTree) Fit(x [][]float64, y []float64, w []float64) error {
+	return t.FitCtx(context.Background(), x, y, w)
+}
+
+// FitCtx is Fit with a cancellation check at every split node; on
+// cancellation the partially built tree is discarded and ctx.Err() is
+// returned.
+func (t *DecisionTree) FitCtx(ctx context.Context, x [][]float64, y []float64, w []float64) error {
 	if err := checkTrainingInput(x, y, w); err != nil {
 		return err
 	}
@@ -77,7 +85,11 @@ func (t *DecisionTree) Fit(x [][]float64, y []float64, w []float64) error {
 	}
 	t.importance = make([]float64, len(x[0]))
 	rng := stats.NewRNG(t.Params.Seed)
-	t.root = t.build(x, y, w, idx, 0, rng)
+	t.root = t.build(ctx, x, y, w, idx, 0, rng)
+	if err := ctx.Err(); err != nil {
+		t.root = nil // a truncated tree is a silently different model
+		return err
+	}
 	return nil
 }
 
@@ -118,14 +130,14 @@ func gini(wt, wp float64) float64 {
 	return 2 * p * (1 - p)
 }
 
-func (t *DecisionTree) build(x [][]float64, y, w []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+func (t *DecisionTree) build(ctx context.Context, x [][]float64, y, w []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
 	wt, wp := nodeStats(y, w, idx)
 	n := &treeNode{leaf: true}
 	if wt > 0 {
 		n.prob = wp / wt
 	}
 	if depth >= t.Params.MaxDepth || wt < t.Params.MinSplitWeight ||
-		n.prob == 0 || n.prob == 1 {
+		n.prob == 0 || n.prob == 1 || ctx.Err() != nil {
 		return n
 	}
 	feat, thresh, gain, ok := t.bestSplit(x, y, w, idx, wt, wp, rng)
@@ -148,8 +160,8 @@ func (t *DecisionTree) build(x [][]float64, y, w []float64, idx []int, depth int
 	n.leaf = false
 	n.feature = feat
 	n.thresh = thresh
-	n.left = t.build(x, y, w, left, depth+1, rng)
-	n.right = t.build(x, y, w, right, depth+1, rng)
+	n.left = t.build(ctx, x, y, w, left, depth+1, rng)
+	n.right = t.build(ctx, x, y, w, right, depth+1, rng)
 	return n
 }
 

@@ -250,6 +250,17 @@ func (sp *Space) Masks() []uint32 {
 // EnumerateNode calls f for every fully assigned pattern in the node
 // identified by mask (all value combinations over the mask's slots).
 func (sp *Space) EnumerateNode(mask uint32, f func(Pattern)) {
+	sp.EnumerateNodeUntil(mask, func(p Pattern) bool {
+		f(p)
+		return true
+	})
+}
+
+// EnumerateNodeUntil is EnumerateNode with early termination: it stops
+// the enumeration as soon as f returns false and reports whether the
+// node was enumerated to completion. Cancellable traversals use it to
+// abandon a node mid-scan.
+func (sp *Space) EnumerateNodeUntil(mask uint32, f func(Pattern) bool) bool {
 	slots := make([]int, 0, sp.Dim())
 	for i := 0; i < sp.Dim(); i++ {
 		if mask&(1<<uint(i)) != 0 {
@@ -257,20 +268,22 @@ func (sp *Space) EnumerateNode(mask uint32, f func(Pattern)) {
 		}
 	}
 	p := NewPattern(sp.Dim())
-	var rec func(k int)
-	rec = func(k int) {
+	var rec func(k int) bool
+	rec = func(k int) bool {
 		if k == len(slots) {
-			f(p)
-			return
+			return f(p)
 		}
 		s := slots[k]
 		for v := 0; v < sp.Cards[s]; v++ {
 			p[s] = int16(v)
-			rec(k + 1)
+			if !rec(k + 1) {
+				return false
+			}
 		}
 		p[s] = Wildcard
+		return true
 	}
-	rec(0)
+	return rec(0)
 }
 
 // Parents calls f for each pattern obtained by removing one

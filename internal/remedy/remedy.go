@@ -9,6 +9,7 @@
 package remedy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/index"
 	"repro/internal/ml"
 	"repro/internal/pattern"
@@ -119,6 +121,8 @@ const (
 )
 
 // ErrResourceLimit is returned by Apply when MaxAdded is exceeded.
+// Like every mid-run failure of Apply, it comes with a nil dataset and
+// a non-nil partial *Report; see Apply for the contract.
 var ErrResourceLimit = errors.New("remedy: added-instance budget exceeded")
 
 // Action records the update applied to one biased region.
@@ -148,7 +152,24 @@ type Report struct {
 
 // Apply runs Algorithm 2 on a copy of d and returns the remedied
 // dataset. d itself is not modified.
+//
+// Error contract: when Apply (or ApplyCtx) fails after remediation has
+// started — the MaxAdded budget trips (ErrResourceLimit), the context
+// is cancelled, or an injected fault fires — the returned dataset is
+// nil and the returned *Report is non-nil and partial: Actions lists
+// every region processed before the failure, and the Added, Removed,
+// Flipped, and BiasedRegions counters are accurate for exactly those
+// actions. Configuration errors detected before any work return a nil
+// report.
 func Apply(d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) {
+	return ApplyCtx(context.Background(), d, opts)
+}
+
+// ApplyCtx is Apply under a context. The remedy loop checks ctx
+// between hierarchy nodes and between regions within a node; on
+// cancellation it stops promptly and returns the partial Report
+// alongside ctx.Err(), per the contract documented on Apply.
+func ApplyCtx(ctx context.Context, d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) {
 	if opts.Technique == "" {
 		opts.Technique = PreferentialSampling
 	}
@@ -170,7 +191,7 @@ func Apply(d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) 
 
 	needRanker := opts.Technique == PreferentialSampling || opts.Technique == Massaging
 	if opts.OneShot {
-		return applyOneShot(cur, h, opts, rng, rep, needRanker)
+		return applyOneShot(ctx, cur, h, opts, rng, rep, needRanker)
 	}
 	// Region row sets come from a bitmap index over the current
 	// snapshot. Within a node the regions are disjoint, so appends and
@@ -180,9 +201,17 @@ func Apply(d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) 
 	var ix *index.Index
 	ixStale := true
 	for _, mask := range h.MasksForScope(opts.Identify.Scope) {
-		regions, err := h.BiasedRegionsInNode(mask, opts.Identify)
+		if err := ctx.Err(); err != nil {
+			return nil, rep, err
+		}
+		if faults.Active() {
+			if err := faults.Fire(faults.RemedyNode, mask); err != nil {
+				return nil, rep, fmt.Errorf("remedy: node %#x: %w", mask, err)
+			}
+		}
+		regions, err := h.BiasedRegionsInNodeCtx(ctx, mask, opts.Identify)
 		if err != nil {
-			return nil, nil, err
+			return nil, rep, err
 		}
 		if len(regions) == 0 {
 			continue
@@ -194,7 +223,7 @@ func Apply(d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) 
 		if needRanker {
 			var nb ml.NaiveBayes
 			if err := nb.FitDataset(cur); err != nil {
-				return nil, nil, err
+				return nil, rep, err
 			}
 			scores = nb.ProbaDataset(cur)
 		}
@@ -205,6 +234,9 @@ func Apply(d *dataset.Dataset, opts Options) (*dataset.Dataset, *Report, error) 
 		changed := false
 		var muts []mutation
 		for _, r := range regions {
+			if err := ctx.Err(); err != nil {
+				return nil, rep, err
+			}
 			var rows []int
 			if ixStale {
 				rows = h.Space.RowsIn(cur, r.Pattern)
@@ -264,20 +296,20 @@ func applyMutations(h *core.Hierarchy, muts []mutation) {
 // applyOneShot is the OneShot ablation: one identification pass over
 // the whole hierarchy, then all updates from that snapshot with no
 // recounting between nodes.
-func applyOneShot(cur *dataset.Dataset, h *core.Hierarchy, opts Options, rng interface {
+func applyOneShot(ctx context.Context, cur *dataset.Dataset, h *core.Hierarchy, opts Options, rng interface {
 	Intn(int) int
 	Shuffle(int, func(int, int))
 }, rep *Report, needRanker bool) (*dataset.Dataset, *Report, error) {
-	res, err := h.IdentifyOptimized(opts.Identify)
+	res, err := h.IdentifyOptimizedCtx(ctx, opts.Identify)
 	if err != nil {
-		return nil, nil, err
+		return nil, rep, err
 	}
 	rep.BiasedRegions = len(res.Regions)
 	var scores []float64
 	if needRanker && len(res.Regions) > 0 {
 		var nb ml.NaiveBayes
 		if err := nb.FitDataset(cur); err != nil {
-			return nil, nil, err
+			return nil, rep, err
 		}
 		scores = nb.ProbaDataset(cur)
 	}
@@ -287,6 +319,9 @@ func applyOneShot(cur *dataset.Dataset, h *core.Hierarchy, opts Options, rng int
 	// scans.
 	ix := index.Build(cur)
 	for _, r := range res.Regions {
+		if err := ctx.Err(); err != nil {
+			return nil, rep, err
+		}
 		// Removals re-index the dataset, so the ranker scores must be
 		// refreshed once the first destructive action lands; keeping a
 		// single snapshot is exactly the ablated behaviour, but stale
@@ -295,7 +330,7 @@ func applyOneShot(cur *dataset.Dataset, h *core.Hierarchy, opts Options, rng int
 		if needRanker && len(scores) != cur.Len() {
 			var nb ml.NaiveBayes
 			if err := nb.FitDataset(cur); err != nil {
-				return nil, nil, err
+				return nil, rep, err
 			}
 			scores = nb.ProbaDataset(cur)
 		}

@@ -1,0 +1,168 @@
+package remedy
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/synth"
+)
+
+// TestResourceLimitPartialReport trips the MaxAdded budget mid-run and
+// verifies the documented contract: nil dataset, non-nil partial
+// report whose aggregate counters match its recorded actions exactly.
+func TestResourceLimitPartialReport(t *testing.T) {
+	d := synth.CompasN(3000, 21)
+	ds, rep, err := Apply(d, Options{
+		Identify:  core.Config{TauC: 0.05, T: 1},
+		Technique: Oversampling,
+		Seed:      1,
+		MaxAdded:  3,
+	})
+	if !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("err = %v, want ErrResourceLimit", err)
+	}
+	if ds != nil {
+		t.Fatal("dataset must be nil on resource-limit failure")
+	}
+	if rep == nil {
+		t.Fatal("partial report must be non-nil")
+	}
+	if len(rep.Actions) == 0 {
+		t.Fatal("partial report must list the actions taken before the trip")
+	}
+	var added, removed, flipped int
+	for _, a := range rep.Actions {
+		added += a.Added
+		removed += a.Removed
+		flipped += a.Flipped
+	}
+	if added != rep.Added || removed != rep.Removed || flipped != rep.Flipped {
+		t.Fatalf("counters %d/%d/%d do not match actions %d/%d/%d",
+			rep.Added, rep.Removed, rep.Flipped, added, removed, flipped)
+	}
+	if rep.Added <= 3 {
+		t.Fatalf("budget of 3 reported tripped at Added=%d", rep.Added)
+	}
+}
+
+func TestApplyPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, rep, err := ApplyCtx(ctx, synth.CompasN(1000, 23), Options{
+		Identify: core.Config{TauC: 0.1, T: 1},
+		Seed:     1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ds != nil {
+		t.Fatal("dataset must be nil on cancellation")
+	}
+	if rep == nil {
+		t.Fatal("partial report must be non-nil")
+	}
+}
+
+// TestApplyCancelBoundedTime slows every node down through the fault
+// hook, cancels mid-remedy, and asserts ApplyCtx returns within 100ms
+// with context.Canceled and a coherent partial report.
+func TestApplyCancelBoundedTime(t *testing.T) {
+	defer faults.Reset()
+	base := runtime.NumGoroutine()
+	faults.Set(faults.RemedyNode, func(arg any) error {
+		time.Sleep(15 * time.Millisecond)
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, rep, err := ApplyCtx(ctx, synth.CompasN(3000, 25), Options{
+			Identify:  core.Config{TauC: 0.05, T: 1},
+			Technique: Oversampling,
+			Seed:      1,
+		})
+		done <- outcome{rep, err}
+	}()
+	time.Sleep(25 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case o := <-done:
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Fatalf("returned %v after cancel, want < 100ms", elapsed)
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+		if o.rep == nil {
+			t.Fatal("partial report must be non-nil")
+		}
+		var added, removed, flipped int
+		for _, a := range o.rep.Actions {
+			added += a.Added
+			removed += a.Removed
+			flipped += a.Flipped
+		}
+		if added != o.rep.Added || removed != o.rep.Removed || flipped != o.rep.Flipped {
+			t.Fatalf("partial counters %d/%d/%d do not match actions %d/%d/%d",
+				o.rep.Added, o.rep.Removed, o.rep.Flipped, added, removed, flipped)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ApplyCtx did not return after cancellation")
+	}
+	assertNoGoroutineLeak(t, base)
+}
+
+func assertNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestApplyInjectedNodeFault injects a hard error at the second
+// hierarchy node and verifies the mid-run failure contract.
+func TestApplyInjectedNodeFault(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("node storage failed")
+	nodes := 0
+	faults.Set(faults.RemedyNode, func(arg any) error {
+		nodes++
+		if nodes == 2 {
+			return boom
+		}
+		return nil
+	})
+	ds, rep, err := Apply(synth.CompasN(2000, 27), Options{
+		Identify:  core.Config{TauC: 0.1, T: 1},
+		Technique: Massaging,
+		Seed:      1,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped injected fault", err)
+	}
+	if ds != nil {
+		t.Fatal("dataset must be nil on mid-run fault")
+	}
+	if rep == nil {
+		t.Fatal("partial report must be non-nil")
+	}
+}

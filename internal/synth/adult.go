@@ -68,13 +68,13 @@ func AdultN(n int, seed int64) *dataset.Dataset {
 			12: {-0.10, 0.35, 0.45, 0.05, -0.05},        // industry
 		},
 		biases: []regionBias{
-			bias(s, 0.95, "gender", "Male", "marital_status", "Married"),
-			bias(s, 0.70, "age", "45-54", "gender", "Male", "marital_status", "Married"),
-			bias(s, 0.55, "relationship", "Wife", "race", "White"),
-			bias(s, -0.85, "race", "Black", "gender", "Female"),
-			bias(s, -0.65, "country", "LatinAmerica", "gender", "Male"),
-			bias(s, -0.50, "age", "<25", "country", "LatinAmerica"),
-			bias(s, 0.60, "race", "Asian-Pac", "education", "Masters"),
+			staticBias(s, 0.95, "gender", "Male", "marital_status", "Married"),
+			staticBias(s, 0.70, "age", "45-54", "gender", "Male", "marital_status", "Married"),
+			staticBias(s, 0.55, "relationship", "Wife", "race", "White"),
+			staticBias(s, -0.85, "race", "Black", "gender", "Female"),
+			staticBias(s, -0.65, "country", "LatinAmerica", "gender", "Male"),
+			staticBias(s, -0.50, "age", "<25", "country", "LatinAmerica"),
+			staticBias(s, 0.60, "race", "Asian-Pac", "education", "Masters"),
 		},
 	}
 

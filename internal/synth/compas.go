@@ -55,13 +55,13 @@ func CompasN(n int, seed int64) *dataset.Dataset {
 		biases: []regionBias{
 			// The running example's IBS: excess positives among
 			// mid-aged defendants with many priors.
-			bias(s, 1.6, "age", "25-45", "priors", ">3"),
+			staticBias(s, 1.6, "age", "25-45", "priors", ">3"),
 			// Example 1's unfair subgroup: Afr-Am males.
-			bias(s, 0.85, "race", "Afr-Am", "sex", "Male"),
-			bias(s, 0.60, "age", "<25", "race", "Afr-Am"),
+			staticBias(s, 0.85, "race", "Afr-Am", "sex", "Male"),
+			staticBias(s, 0.60, "age", "<25", "race", "Afr-Am"),
 			// Excess negatives: older Caucasians and first-time women.
-			bias(s, -0.70, "age", ">45", "race", "Caucasian"),
-			bias(s, -0.55, "sex", "Female", "priors", "0"),
+			staticBias(s, -0.70, "age", ">45", "race", "Caucasian"),
+			staticBias(s, -0.55, "sex", "Female", "priors", "0"),
 		},
 	}
 

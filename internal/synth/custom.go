@@ -100,7 +100,11 @@ func Custom(cfg CustomConfig, seed int64) (*dataset.Dataset, error) {
 					b.Conditions[i+1], b.Conditions[i])
 			}
 		}
-		model.biases = append(model.biases, bias(cfg.Schema, b.Offset, b.Conditions...))
+		rb, err := bias(cfg.Schema, b.Offset, b.Conditions...)
+		if err != nil {
+			return nil, err
+		}
+		model.biases = append(model.biases, rb)
 	}
 
 	r := stats.NewRNG(seed)

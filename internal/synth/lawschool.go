@@ -60,11 +60,11 @@ func LawSchoolN(n int, seed int64) *dataset.Dataset {
 			11: {-0.15, 0.05, 0.20},        // parents' education
 		},
 		biases: []regionBias{
-			bias(s, -1.05, "race", "Black", "family_income", "low"),
-			bias(s, -0.55, "gender", "Female", "age", ">25"),
-			bias(s, -0.45, "family_income", "low", "age", "<22"),
-			bias(s, 0.85, "race", "White", "family_income", "high"),
-			bias(s, 0.40, "race", "Asian", "family_income", "mid-high"),
+			staticBias(s, -1.05, "race", "Black", "family_income", "low"),
+			staticBias(s, -0.55, "gender", "Female", "age", ">25"),
+			staticBias(s, -0.45, "family_income", "low", "age", "<22"),
+			staticBias(s, 0.85, "race", "White", "family_income", "high"),
+			staticBias(s, 0.40, "race", "Asian", "family_income", "mid-high"),
 		},
 	}
 

@@ -12,8 +12,10 @@
 package synth
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dataset"
 )
@@ -50,24 +52,48 @@ func (b regionBias) matches(row []int32) bool {
 }
 
 // bias is a convenience constructor resolving attribute and value names
-// against a schema. It panics on unknown names: generator tables are
-// static and a typo is a programming error.
-func bias(s *dataset.Schema, offset float64, pairs ...string) regionBias {
-	if len(pairs)%2 != 0 {
-		panic("synth: bias needs name/value pairs")
+// against a schema. Unknown names return an error; the zero regionBias
+// returned alongside it is a harmless no-op (it matches every row with
+// offset 0).
+func bias(s *dataset.Schema, offset float64, pairs ...string) (regionBias, error) {
+	if len(pairs)%2 != 0 || len(pairs) == 0 {
+		return regionBias{}, fmt.Errorf("synth: bias needs name/value pairs, got %d names", len(pairs))
 	}
 	b := regionBias{offset: offset}
 	for i := 0; i < len(pairs); i += 2 {
 		ai := s.AttrIndex(pairs[i])
 		if ai < 0 {
-			panic("synth: unknown attribute " + pairs[i])
+			return regionBias{}, fmt.Errorf("synth: unknown attribute %q", pairs[i])
 		}
 		vi := s.Attrs[ai].ValueIndex(pairs[i+1])
 		if vi < 0 {
-			panic("synth: unknown value " + pairs[i+1] + " for " + pairs[i])
+			return regionBias{}, fmt.Errorf("synth: unknown value %q for %s", pairs[i+1], pairs[i])
 		}
 		b.attrs = append(b.attrs, ai)
 		b.values = append(b.values, int32(vi))
+	}
+	return b, nil
+}
+
+// staticBiasErrs collects resolution failures from the shipped
+// generator tables. The tables are literals defined next to the schema
+// they reference, so a failure is a typo introduced at development
+// time; generation degrades to a no-op bias instead of failing, and
+// TestShippedBiasTables fails loudly if this list is ever non-empty.
+var staticBiasErrs struct {
+	mu   sync.Mutex
+	errs []string
+}
+
+// staticBias is bias for the shipped generator tables: resolution
+// errors are recorded in staticBiasErrs and degrade to a no-op.
+func staticBias(s *dataset.Schema, offset float64, pairs ...string) regionBias {
+	b, err := bias(s, offset, pairs...)
+	if err != nil {
+		staticBiasErrs.mu.Lock()
+		staticBiasErrs.errs = append(staticBiasErrs.errs, err.Error())
+		staticBiasErrs.mu.Unlock()
+		return regionBias{}
 	}
 	return b
 }

@@ -227,14 +227,23 @@ func TestBiasHelperPanics(t *testing.T) {
 		{"age", "nope"},
 		{"age"},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("expected panic for %v", c)
-				}
-			}()
-			bias(s, 1, c...)
-		}()
+		if _, err := bias(s, 1, c...); err == nil {
+			t.Fatalf("expected error for %v", c)
+		}
+	}
+}
+
+func TestShippedBiasTables(t *testing.T) {
+	staticBiasErrs.mu.Lock()
+	staticBiasErrs.errs = nil
+	staticBiasErrs.mu.Unlock()
+	Adult(1)
+	Compas(1)
+	LawSchool(1)
+	staticBiasErrs.mu.Lock()
+	defer staticBiasErrs.mu.Unlock()
+	if len(staticBiasErrs.errs) != 0 {
+		t.Fatalf("shipped bias tables did not resolve cleanly: %v", staticBiasErrs.errs)
 	}
 }
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the CI gate: build, vet, race-enabled tests, and the
+# no-panic grep gate over non-test library code. Equivalent to
+# `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== panic gate"
+bad=$(grep -rn "panic(" --include="*.go" internal/ cmd/ examples/ | grep -v "_test.go" || true)
+if [ -n "$bad" ]; then
+    echo "panic() in non-test code:"
+    echo "$bad"
+    exit 1
+fi
+echo "panicgate: ok"
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
