@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check panicgate fuzz
+.PHONY: all build vet test race check panicgate obs-check fuzz
 
 all: check
 
@@ -26,8 +26,15 @@ panicgate:
 	fi; \
 	echo "panicgate: ok"
 
+# obs-check vets and race-tests the observability layer in isolation:
+# its lock-free counters and span bookkeeping are the code most likely
+# to regress under concurrency, so they get a dedicated fast gate.
+obs-check:
+	$(GO) vet ./internal/obs/...
+	$(GO) test -race ./internal/obs/...
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 
-check: build vet panicgate race
+check: build vet panicgate obs-check race
 	@echo "all checks passed"

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fairness"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/synth"
 )
@@ -106,28 +108,46 @@ func benchData(b *testing.B) *dataset.Dataset {
 	return synth.CompasN(6172, benchSeed)
 }
 
+// reportIdentifyWork attaches the traversal's work counters to the
+// benchmark output (BENCH_*.json), so regressions in work done — not
+// just wall time — are visible: nodes_visited/op is the number of
+// candidate regions examined, neighbor_ops/op the aggregation count
+// the optimized algorithm reduces.
+func reportIdentifyWork(b *testing.B, m *obs.Registry) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(m.Counter("identify.nodes_visited").Value())/n, "nodes_visited/op")
+	b.ReportMetric(float64(m.Counter("identify.neighbor_ops").Value())/n, "neighbor_ops/op")
+}
+
 func BenchmarkIdentifyNaive(b *testing.B) {
 	d := benchData(b)
 	cfg := core.Config{TauC: 0.1, T: 1}
+	m := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), m)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.IdentifyNaive(d, cfg); err != nil {
+		if _, err := core.IdentifyNaiveCtx(ctx, d, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportIdentifyWork(b, m)
 }
 
 func BenchmarkIdentifyOptimized(b *testing.B) {
 	d := benchData(b)
 	cfg := core.Config{TauC: 0.1, T: 1}
+	m := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), m)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.IdentifyOptimized(d, cfg); err != nil {
+		if _, err := core.IdentifyOptimizedCtx(ctx, d, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportIdentifyWork(b, m)
 }
 
 func BenchmarkRemedy(b *testing.B) {

@@ -194,6 +194,11 @@ func main() {
 		}
 	}
 	ran := 0
+	timing := &experiments.Table{
+		Title:   "Stage timings",
+		Columns: []string{"stage", "tables", "seconds"},
+	}
+	total := time.Duration(0)
 	for _, r := range rs {
 		if *runFlag != "all" && !want[r.id] {
 			continue
@@ -206,6 +211,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		total += elapsed
+		timing.Rows = append(timing.Rows, []string{
+			r.id, fmt.Sprint(len(tables)), fmt.Sprintf("%.2f", elapsed.Seconds()),
+		})
 		for _, t := range tables {
 			if err := t.RenderAs(os.Stdout, format); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -219,11 +229,24 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", r.id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", r.id, elapsed.Seconds())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q; use -list\n", *runFlag)
 		os.Exit(1)
+	}
+	// Per-stage timing summary: where the wall-clock went across the
+	// whole run, in the same renderable Table the experiments use.
+	timing.Rows = append(timing.Rows, []string{"total", "", fmt.Sprintf("%.2f", total.Seconds())})
+	if err := timing.RenderAs(os.Stdout, format); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := writeTables(*outDir, "timings", []*experiments.Table{timing}, format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -31,16 +31,29 @@
 // pipeline stops at the next cooperative checkpoint and -mode remedy
 // reports the partial remediation completed so far before exiting
 // non-zero.
+//
+// Observability: -v / -vv raise the structured log level (info /
+// debug), -trace-out <file> dumps the pipeline's span tree as JSON,
+// -metrics-out <file> dumps the metrics registry (counters such as
+// identify.nodes_visited and remedy.samples_added), and -pprof <addr>
+// serves net/http/pprof plus an expvar view of the live metrics on
+// /debug/vars for profiling long runs. An interrupted run still
+// flushes whatever trace and metrics it accumulated.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/core"
@@ -49,6 +62,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fairness"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/remedy"
 )
 
@@ -67,22 +81,27 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	fs := flag.NewFlagSet("remedyctl", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		mode      = fs.String("mode", "audit", "identify | remedy | audit | attribute")
-		input     = fs.String("input", "", "input CSV (header row; label column 0/1)")
-		target    = fs.String("target", "", "label column name (required with -input)")
-		protected = fs.String("protected", "", "comma-separated protected attribute names (required with -input)")
-		dsName    = fs.String("dataset", "propublica", "built-in dataset when -input is absent")
-		tauC      = fs.Float64("tauc", 0.1, "imbalance threshold τ_c")
-		tFlag     = fs.Int("T", 1, "neighboring-region distance threshold")
-		k         = fs.Int("k", core.DefaultMinSize, "minimum region size")
-		scopeFlag = fs.String("scope", "lattice", "identification scope: lattice | leaf | top")
-		tech      = fs.String("technique", "PS", "remedy technique: PS | US | DP | MS")
-		model     = fs.String("model", "DT", "downstream model for audit: DT | RF | LG | NN")
-		output    = fs.String("output", "", "output CSV for -mode remedy")
-		saveModel = fs.String("save-model", "", "in audit mode, save the remedied-data model as JSON")
-		tree      = fs.Bool("tree", false, "in identify mode, render the hierarchy view instead of a flat table")
-		seed      = fs.Int64("seed", 1, "random seed")
-		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		mode       = fs.String("mode", "audit", "identify | remedy | audit | attribute")
+		input      = fs.String("input", "", "input CSV (header row; label column 0/1)")
+		target     = fs.String("target", "", "label column name (required with -input)")
+		protected  = fs.String("protected", "", "comma-separated protected attribute names (required with -input)")
+		dsName     = fs.String("dataset", "propublica", "built-in dataset when -input is absent")
+		tauC       = fs.Float64("tauc", 0.1, "imbalance threshold τ_c")
+		tFlag      = fs.Int("T", 1, "neighboring-region distance threshold")
+		k          = fs.Int("k", core.DefaultMinSize, "minimum region size")
+		scopeFlag  = fs.String("scope", "lattice", "identification scope: lattice | leaf | top")
+		tech       = fs.String("technique", "PS", "remedy technique: PS | US | DP | MS")
+		model      = fs.String("model", "DT", "downstream model for audit: DT | RF | LG | NN")
+		output     = fs.String("output", "", "output CSV for -mode remedy")
+		saveModel  = fs.String("save-model", "", "in audit mode, save the remedied-data model as JSON")
+		tree       = fs.Bool("tree", false, "in identify mode, render the hierarchy view instead of a flat table")
+		seed       = fs.Int64("seed", 1, "random seed")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		verbose    = fs.Bool("v", false, "info-level structured logging to stderr")
+		veryVerb   = fs.Bool("vv", false, "debug-level structured logging to stderr")
+		traceOut   = fs.String("trace-out", "", "write the pipeline's span tree as JSON to this file")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -95,7 +114,8 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 
 	// Fail fast on configuration before any heavy work: scope, technique,
 	// and — for -mode remedy — that the output path is actually writable,
-	// so a long remediation cannot die at the final write.
+	// so a long remediation cannot die at the final write. The trace and
+	// metrics paths get the same upfront check.
 	scope, err := parseScope(*scopeFlag)
 	if err != nil {
 		return err
@@ -109,12 +129,66 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 			return err
 		}
 	}
+	for _, p := range []string{*traceOut, *metricsOut} {
+		if p != "" {
+			if err := checkWritable(p); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Observability wiring: logger level from -v/-vv, a metrics registry
+	// always (snapshotting an idle registry is free), a tracer only when
+	// a span dump was requested.
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelInfo
+	}
+	if *veryVerb {
+		level = obs.LevelDebug
+	}
+	lg := obs.NewLogger(errw, level)
+	ctx = obs.WithLogger(ctx, lg)
+	metrics := obs.NewRegistry()
+	ctx = obs.WithMetrics(ctx, metrics)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, metrics, lg); err != nil {
+			return err
+		}
+	}
 
 	d, err := load(*input, *target, *protected, *dsName, *seed)
 	if err != nil {
 		return err
 	}
 	cfg := core.Config{TauC: *tauC, T: *tFlag, MinSize: *k, Scope: scope}
+
+	ctx, root := obs.StartSpan(ctx, "remedyctl."+*mode)
+	// Flush trace and metrics on every exit path — including timeouts and
+	// SIGINT — so an interrupted run still leaves a (partial but valid)
+	// record of the work it did.
+	defer func() {
+		root.End()
+		if tracer != nil && *traceOut != "" {
+			if werr := writeFileWith(*traceOut, tracer.WriteJSON); werr != nil {
+				lg.Error("trace dump failed", "path", *traceOut, "err", werr)
+			} else {
+				lg.Info("trace written", "path", *traceOut)
+			}
+		}
+		if *metricsOut != "" {
+			if werr := writeFileWith(*metricsOut, metrics.WriteJSON); werr != nil {
+				lg.Error("metrics dump failed", "path", *metricsOut, "err", werr)
+			} else {
+				lg.Info("metrics written", "path", *metricsOut)
+			}
+		}
+	}()
 
 	switch *mode {
 	case "identify":
@@ -127,6 +201,48 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		return runAttribute(ctx, d, ml.ModelKind(*model), *seed)
 	}
 	return fmt.Errorf("unknown mode %q", *mode)
+}
+
+// pipelineMetrics holds the registry published on /debug/vars. expvar
+// registration is global and permanent, so the variable is published
+// once and repointed per run (tests call run repeatedly).
+var pipelineMetrics atomic.Pointer[obs.Registry]
+
+// servePprof exposes net/http/pprof and the live metrics registry (as
+// expvar "pipeline" on /debug/vars) on addr, in the background, for
+// the lifetime of the process. The listener is bound synchronously so
+// a bad address fails the run up front.
+func servePprof(addr string, m *obs.Registry, lg *obs.Logger) error {
+	if pipelineMetrics.Swap(m) == nil {
+		expvar.Publish("pipeline", expvar.Func(func() any {
+			return pipelineMetrics.Load().Expvar()
+		}))
+	}
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	lg.Info("pprof serving", "addr", ln.Addr().String())
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			lg.Error("pprof server stopped", "err", err)
+		}
+	}()
+	return nil
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -152,6 +154,73 @@ func TestRunRemedyRejectsUnwritableOutput(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "not writable") {
 		t.Fatalf("err = %q, want upfront writability failure", err)
+	}
+}
+
+// TestRunObservabilityDump is the acceptance run for the obs layer: a
+// full audit on the synthetic Adult dataset with -vv -trace-out
+// -metrics-out must leave a span tree covering identify, remedy,
+// train, and audit, and non-zero work counters.
+func TestRunObservabilityDump(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run(context.Background(), []string{
+		"-mode", "audit", "-dataset", "adult", "-vv",
+		"-trace-out", tracePath, "-metrics-out", metricsPath,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct{ Spans []obs.SpanSnapshot }
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	var rootID uint64
+	for _, s := range trace.Spans {
+		byName[s.Name]++
+		if s.Unfinished {
+			t.Fatalf("completed run left unfinished span %q", s.Name)
+		}
+		if s.Name == "remedyctl.audit" {
+			rootID = s.ID
+			if s.Parent != 0 {
+				t.Fatal("root span must have no parent")
+			}
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no remedyctl.audit root span")
+	}
+	// Every pipeline stage must appear in the tree.
+	for _, want := range []string{"core.identify.node", "remedy.apply", "remedy.region", "ml.train", "divexplorer.explore"} {
+		if byName[want] == 0 {
+			t.Fatalf("span tree missing stage %q (have %v)", want, byName)
+		}
+	}
+	if byName["ml.train"] != 2 {
+		t.Fatalf("audit trains original + remedied, want 2 ml.train spans, got %d", byName["ml.train"])
+	}
+
+	raw, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v", err)
+	}
+	for _, c := range []string{"identify.nodes_visited", "identify.regions_flagged", "remedy.samples_added", "divexplorer.itemsets"} {
+		if snap.Counters[c] == 0 {
+			t.Fatalf("counter %s is zero after a full audit (have %v)", c, snap.Counters)
+		}
 	}
 }
 

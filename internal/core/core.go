@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
 
@@ -139,6 +140,9 @@ type Result struct {
 	// aggregations performed — the cost the optimized algorithm reduces.
 	Explored    int
 	NeighborOps int
+	// Pruned counts the regions skipped by the significance filter
+	// (|r| <= k) — the traversal work the size threshold saves.
+	Pruned int
 }
 
 // Contains reports whether the exact pattern p is in the IBS.
@@ -222,6 +226,10 @@ func (h *Hierarchy) PreloadCtx(ctx context.Context, workers int) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	masks := h.Space.Masks()
+	ctx, psp := obs.StartSpan(ctx, "core.preload")
+	psp.SetInt("nodes", int64(len(masks)))
+	psp.SetInt("workers", int64(workers))
+	defer psp.End()
 	tables := make([]pattern.Table, len(masks))
 	errs := make([]error, len(masks))
 	sem := make(chan struct{}, workers)
@@ -253,7 +261,7 @@ dispatch:
 				return
 			}
 			if faults.Active() {
-				if err := faults.Fire(faults.PreloadWorker, m); err != nil {
+				if err := faults.FireCtx(ctx, faults.PreloadWorker, m); err != nil {
 					errs[i] = fmt.Errorf("core: preload node %#x: %w", m, err)
 					cancel()
 					return

@@ -6,11 +6,41 @@ import (
 	"math"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
+
+// recordIdentifyMetrics folds one finished identification's work
+// counters into the context's metrics registry (a no-op without one):
+// identify.nodes_visited / nodes_pruned are the regions examined and
+// size-filtered, regions_flagged the IBS members found, neighbor_ops
+// the aggregation count the optimized algorithm reduces.
+func recordIdentifyMetrics(ctx context.Context, res *Result) {
+	m := obs.MetricsFrom(ctx)
+	if m == nil {
+		return
+	}
+	m.Counter("identify.nodes_visited").Add(int64(res.Explored))
+	m.Counter("identify.nodes_pruned").Add(int64(res.Pruned))
+	m.Counter("identify.regions_flagged").Add(int64(len(res.Regions)))
+	m.Counter("identify.neighbor_ops").Add(int64(res.NeighborOps))
+}
+
+// finishIdentifySpan stamps the result attributes on an identification
+// span and ends it.
+func finishIdentifySpan(sp *obs.Span, res *Result) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("explored", int64(res.Explored))
+	sp.SetInt("pruned", int64(res.Pruned))
+	sp.SetInt("regions", int64(len(res.Regions)))
+	sp.End()
+}
 
 // ctxCheckStride bounds how many regions a traversal examines between
 // cooperative cancellation checks. Small enough that a cancelled scan
@@ -90,7 +120,11 @@ func (h *Hierarchy) IdentifyNaiveCtx(ctx context.Context, cfg Config) (*Result, 
 	if err := cfg.validate(h.Space); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.identify.naive")
+	sp.SetStr("scope", cfg.Scope.String())
 	res := &Result{Space: h.Space, Config: cfg}
+	defer finishIdentifySpan(sp, res)
+	defer recordIdentifyMetrics(ctx, res)
 	k := cfg.minSize()
 	c := &canceler{ctx: ctx}
 	for _, mask := range h.masksForScope(cfg.Scope) {
@@ -101,6 +135,7 @@ func (h *Hierarchy) IdentifyNaiveCtx(ctx context.Context, cfg Config) (*Result, 
 			}
 			rc := node[h.Space.Key(p)]
 			if rc.N <= k {
+				res.Pruned++
 				return true
 			}
 			res.Explored++
@@ -178,13 +213,45 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 	if cfg.Workers > 1 {
 		return h.identifyOptimizedParallel(ctx, cfg)
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.identify.optimized")
+	sp.SetStr("scope", cfg.Scope.String())
+	sp.SetInt("T", int64(cfg.T))
 	res := &Result{Space: h.Space, Config: cfg}
+	defer finishIdentifySpan(sp, res)
+	defer recordIdentifyMetrics(ctx, res)
 	c := &canceler{ctx: ctx}
+	levelHist := obs.MetricsFrom(ctx).Histogram("identify.level_ms", obs.DefaultDurationBucketsMS)
+	var (
+		lvlSpan  *obs.Span
+		curLevel = -1
+		lvlStart time.Time
+	)
+	endLevel := func() {
+		if curLevel >= 0 {
+			lvlSpan.End()
+			levelHist.Observe(float64(time.Since(lvlStart).Microseconds()) / 1000)
+		}
+	}
 	for _, mask := range h.masksForScope(cfg.Scope) {
+		// The bottom-up traversal visits the lattice level by level;
+		// each level gets its own timing span so the trace shows where
+		// the walk spends its time (the leaf level dominates).
+		if lv := levelOf(mask); lv != curLevel {
+			endLevel()
+			_, lvlSpan = obs.StartSpan(ctx, "core.identify.level")
+			lvlSpan.SetInt("level", int64(lv))
+			curLevel = lv
+			lvlStart = time.Now()
+		}
 		h.scanNodeOptimized(mask, cfg, res, c)
 		if c.err != nil {
 			break
 		}
+	}
+	endLevel()
+	if lg := obs.LoggerFrom(ctx); lg.On(obs.LevelDebug) {
+		lg.Scope("core").Debug("identify done",
+			"explored", res.Explored, "pruned", res.Pruned, "regions", len(res.Regions))
 	}
 	h.sortRegions(res.Regions)
 	return res, c.err
@@ -205,7 +272,11 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 func (h *Hierarchy) identifyOptimizedParallel(ctx context.Context, cfg Config) (*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	ctx, sp := obs.StartSpan(ctx, "core.identify.parallel")
+	sp.SetStr("scope", cfg.Scope.String())
+	sp.SetInt("workers", int64(cfg.Workers))
 	if err := h.PreloadCtx(ctx, cfg.Workers); err != nil {
+		sp.End()
 		return &Result{Space: h.Space, Config: cfg}, err
 	}
 	masks := h.masksForScope(cfg.Scope)
@@ -233,15 +304,23 @@ dispatch:
 			if ctx.Err() != nil {
 				return
 			}
+			// Each worker shard gets its own span under the parallel
+			// parent, so the trace shows the fan-out and any straggler
+			// nodes. The deferred End runs during panic unwinding, ahead
+			// of the recover above, so crashed shards stay visible.
+			wctx, ssp := obs.StartSpan(ctx, "core.identify.shard")
+			ssp.SetInt("node", int64(mask))
+			defer ssp.End()
 			if faults.Active() {
-				if err := faults.Fire(faults.IdentifyWorker, mask); err != nil {
+				if err := faults.FireCtx(wctx, faults.IdentifyWorker, mask); err != nil {
 					errs[i] = fmt.Errorf("core: identify node %#x: %w", mask, err)
 					cancel()
 					return
 				}
 			}
 			shard := &Result{Space: h.Space, Config: cfg}
-			h.scanNodeOptimized(mask, cfg, shard, &canceler{ctx: ctx})
+			h.scanNodeOptimized(mask, cfg, shard, &canceler{ctx: wctx})
+			ssp.SetInt("regions", int64(len(shard.Regions)))
 			shards[i] = shard
 		}(i, mask)
 	}
@@ -254,7 +333,10 @@ dispatch:
 		res.Regions = append(res.Regions, shard.Regions...)
 		res.Explored += shard.Explored
 		res.NeighborOps += shard.NeighborOps
+		res.Pruned += shard.Pruned
 	}
+	finishIdentifySpan(sp, res)
+	recordIdentifyMetrics(ctx, res)
 	h.sortRegions(res.Regions)
 	// Worker failures outrank plain cancellation: a panic or injected
 	// fault also cancels ctx, and reporting the cause beats reporting
@@ -284,6 +366,7 @@ func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result, c *c
 		}
 		rc := node[h.Space.Key(p)]
 		if rc.N <= k {
+			res.Pruned++
 			return true
 		}
 		res.Explored++
@@ -307,7 +390,11 @@ func (h *Hierarchy) BiasedRegionsInNodeCtx(ctx context.Context, mask uint32, cfg
 	if err := cfg.validate(h.Space); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "core.identify.node")
+	sp.SetInt("node", int64(mask))
 	res := &Result{Space: h.Space, Config: cfg}
+	defer finishIdentifySpan(sp, res)
+	defer recordIdentifyMetrics(ctx, res)
 	c := &canceler{ctx: ctx}
 	h.scanNodeOptimized(mask, cfg, res, c)
 	h.sortRegions(res.Regions)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fairness"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 )
@@ -113,6 +114,9 @@ func ExploreCtx(ctx context.Context, d *dataset.Dataset, preds []int, stat fairn
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "divexplorer.explore")
+	span.SetStr("stat", string(stat))
+	defer span.End()
 
 	// One pass: accumulate confusion cells for all 2^dim projections of
 	// every row, exactly like pattern.CountAll.
@@ -213,6 +217,15 @@ func ExploreCtx(ctx context.Context, d *dataset.Dataset, preds []int, stat fairn
 		}
 		return sp.Key(a.Pattern) < sp.Key(b.Pattern)
 	})
+	if m := obs.MetricsFrom(ctx); m != nil {
+		// itemsets counts the distinct populated cells the counting pass
+		// generated (every candidate subgroup, before the support
+		// filter); subgroups is what survived it.
+		m.Counter("divexplorer.itemsets").Add(int64(len(cells)))
+		m.Counter("divexplorer.subgroups").Add(int64(len(rep.Subgroups)))
+	}
+	span.SetInt("itemsets", int64(len(cells)))
+	span.SetInt("subgroups", int64(len(rep.Subgroups)))
 	return rep, nil
 }
 

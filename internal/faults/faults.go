@@ -13,8 +13,12 @@
 package faults
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Point names one injection site.
@@ -100,6 +104,28 @@ func Fire(p Point, arg any) error {
 	mu.RUnlock()
 	if h == nil {
 		return nil
+	}
+	return h(arg)
+}
+
+// FireCtx is Fire for call sites that carry a context: when a hook is
+// installed and a trace span is active, the injection is recorded as a
+// "fault.injected" event on the span before the hook runs — before,
+// because the hook may panic, and a crash injection must still leave
+// its trace. Without a hook (the production state) it costs the same
+// single atomic load as Fire.
+func FireCtx(ctx context.Context, p Point, arg any) error {
+	if !Active() {
+		return nil
+	}
+	mu.RLock()
+	h := hooks[p]
+	mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Event("fault.injected", fmt.Sprintf("%s arg=%v", p, arg))
 	}
 	return h(arg)
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Classifier is a binary probabilistic classifier over float feature
@@ -72,10 +73,13 @@ func checkTrainingInput(x [][]float64, y []float64, w []float64) error {
 
 // epochTick is the shared cooperative checkpoint of the context-aware
 // training loops: it fires the ml.train.epoch fault-injection point
-// with the epoch (or tree) index and then polls ctx.
+// with the epoch (or tree) index, counts the epoch in the context's
+// metrics registry (ml.epochs — per-epoch for the iterative learners,
+// per-tree for the forest), and then polls ctx.
 func epochTick(ctx context.Context, epoch int) error {
+	obs.MetricsFrom(ctx).Counter("ml.epochs").Inc()
 	if faults.Active() {
-		if err := faults.Fire(faults.TrainEpoch, epoch); err != nil {
+		if err := faults.FireCtx(ctx, faults.TrainEpoch, epoch); err != nil {
 			return err
 		}
 	}
@@ -111,6 +115,12 @@ func TrainCtx(ctx context.Context, d *dataset.Dataset, clf Classifier) (*Model, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "ml.train")
+	if sp != nil {
+		sp.SetStr("clf", fmt.Sprintf("%T", clf))
+		sp.SetInt("rows", int64(d.Len()))
+	}
+	defer sp.End()
 	enc := dataset.NewEncoding(d.Schema)
 	x, y, w := enc.Encode(d)
 	var err error
@@ -121,6 +131,9 @@ func TrainCtx(ctx context.Context, d *dataset.Dataset, clf Classifier) (*Model, 
 	}
 	if err != nil {
 		return nil, err
+	}
+	if lg := obs.LoggerFrom(ctx); lg.On(obs.LevelInfo) {
+		lg.Scope("ml").Info("trained", "clf", fmt.Sprintf("%T", clf), "rows", d.Len())
 	}
 	return &Model{Enc: enc, Clf: clf}, nil
 }

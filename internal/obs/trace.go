@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans. It is safe for concurrent use:
+// parallel workers start sibling spans under one parent and the tracer
+// serializes the bookkeeping. A snapshot can be taken at any moment —
+// including after a cancelled pipeline — and spans still open at that
+// point are reported with Unfinished set, so a partial trace is always
+// a valid trace.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	spans  []*Span
+	nextID uint64
+}
+
+// NewTracer returns an empty tracer. Its epoch (the zero offset of
+// every span's start time) is the moment of creation.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one timed operation in the trace tree. Starting a span
+// through StartSpan links it to the innermost span of the context, and
+// the returned context carries the new span so descendants nest under
+// it. All methods are no-ops on a nil receiver.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration // offset from tracer epoch
+	end    time.Duration // 0 until End
+	ended  bool
+	attrs  []Attr
+	events []Event
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Event is a timestamped point annotation inside a span (for example
+// an injected fault firing).
+type Event struct {
+	Name string        `json:"name"`
+	At   time.Duration `json:"at_us"` // offset from tracer epoch
+	Attr string        `json:"attr,omitempty"`
+}
+
+// StartSpan starts a span named name under the innermost span of ctx
+// and returns a derived context carrying it. Without a tracer in ctx it
+// returns ctx unchanged and a nil span, allocating nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if ps := SpanFrom(ctx); ps != nil {
+		parent = ps.id
+	}
+	sp := tr.start(name, parent)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	sp := &Span{
+		tr:     t,
+		id:     t.nextID,
+		parent: parent,
+		name:   name,
+		start:  time.Since(t.epoch),
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// End marks the span finished. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Since(s.tr.epoch)
+	}
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, Value: v})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, Value: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, Value: v})
+}
+
+func (s *Span) set(a Attr) {
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, a)
+	s.tr.mu.Unlock()
+}
+
+// Event records a point annotation at the current time. attr is a
+// free-form detail string (empty for none).
+func (s *Span) Event(name, attr string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.events = append(s.events, Event{Name: name, At: time.Since(s.tr.epoch), Attr: attr})
+	s.tr.mu.Unlock()
+}
+
+// SpanSnapshot is the exported form of one recorded span. Times are
+// microsecond offsets from the tracer epoch; DurationUS is 0 for
+// unfinished spans.
+type SpanSnapshot struct {
+	ID         uint64  `json:"id"`
+	Parent     uint64  `json:"parent,omitempty"`
+	Name       string  `json:"name"`
+	StartUS    int64   `json:"start_us"`
+	DurationUS int64   `json:"duration_us"`
+	Unfinished bool    `json:"unfinished,omitempty"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+	Events     []Event `json:"events,omitempty"`
+}
+
+// Snapshot returns every span recorded so far in start order. Spans
+// still open are included with Unfinished set, so a snapshot taken
+// after a cancellation is complete for the work that did run.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, len(t.spans))
+	for i, sp := range t.spans {
+		ss := SpanSnapshot{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			StartUS: sp.start.Microseconds(),
+			Attrs:   append([]Attr(nil), sp.attrs...),
+			Events:  append([]Event(nil), sp.events...),
+		}
+		if sp.ended {
+			ss.DurationUS = (sp.end - sp.start).Microseconds()
+		} else {
+			ss.Unfinished = true
+		}
+		out[i] = ss
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteJSON dumps the trace as an indented JSON document:
+// {"spans": [...]}. Valid at any moment, including mid-pipeline.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Spans []SpanSnapshot `json:"spans"`
+	}{Spans: t.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteTree renders the span hierarchy as an indented text tree with
+// durations — the human-readable companion of WriteJSON.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Snapshot()
+	children := make(map[uint64][]SpanSnapshot)
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var render func(parent uint64, depth int) error
+	render = func(parent uint64, depth int) error {
+		for _, sp := range children[parent] {
+			dur := "…"
+			if !sp.Unfinished {
+				dur = (time.Duration(sp.DurationUS) * time.Microsecond).String()
+			}
+			if _, err := fmt.Fprintf(w, "%*s%s %s\n", 2*depth, "", sp.Name, dur); err != nil {
+				return err
+			}
+			if err := render(sp.ID, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return render(0, 0)
+}

@@ -1,10 +1,12 @@
 package pattern
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // This file implements level-wise (apriori-style) frequent-region
@@ -26,11 +28,37 @@ type FrequentRegion struct {
 // level by level. Results are ordered by level then key. The level-0
 // whole-dataset region is excluded (it is trivially frequent).
 func (sp *Space) FrequentRegions(d *dataset.Dataset, minSize int) []FrequentRegion {
+	return sp.FrequentRegionsCtx(context.Background(), d, minSize)
+}
+
+// FrequentRegionsCtx is FrequentRegions under a context carrying
+// observability state: the miner records pattern.candidates_generated
+// (distinct candidate regions admitted past the anti-monotone check),
+// pattern.candidates_pruned (candidates rejected by it), and
+// pattern.frequent_regions into the context's metrics registry, and
+// wraps the mining in a "pattern.apriori" span. The traversal itself
+// is not cancellable — levels are pure in-memory passes.
+func (sp *Space) FrequentRegionsCtx(ctx context.Context, d *dataset.Dataset, minSize int) []FrequentRegion {
 	if minSize < 1 {
 		minSize = 1
 	}
+	m := obs.MetricsFrom(ctx)
+	_, span := obs.StartSpan(ctx, "pattern.apriori")
+	span.SetInt("min_size", int64(minSize))
+	defer span.End()
+	generated, pruned := 0, 0
 	dim := sp.Dim()
 	var out []FrequentRegion
+	defer func() {
+		span.SetInt("candidates_generated", int64(generated))
+		span.SetInt("candidates_pruned", int64(pruned))
+		span.SetInt("frequent", int64(len(out)))
+		if m != nil {
+			m.Counter("pattern.candidates_generated").Add(int64(generated))
+			m.Counter("pattern.candidates_pruned").Add(int64(pruned))
+			m.Counter("pattern.frequent_regions").Add(int64(len(out)))
+		}
+	}()
 
 	// Level 1: count every (slot, value) singleton in one pass.
 	counts := make([][]Counts, dim)
@@ -47,6 +75,9 @@ func (sp *Space) FrequentRegions(d *dataset.Dataset, minSize int) []FrequentRegi
 	frequent := make(map[uint64]Counts)
 	for s := 0; s < dim; s++ {
 		for v := 0; v < sp.Cards[s]; v++ {
+			if counts[s][v].N > 0 {
+				generated++
+			}
 			if counts[s][v].N >= minSize {
 				p := NewPattern(dim)
 				p[s] = int16(v)
@@ -93,8 +124,10 @@ func (sp *Space) FrequentRegions(d *dataset.Dataset, minSize int) []FrequentRegi
 						// Record a tombstone so the subset check runs
 						// once per candidate, not once per row.
 						cand[key] = Counts{N: -1}
+						pruned++
 						continue
 					}
+					generated++
 				} else if c.N < 0 {
 					continue
 				}

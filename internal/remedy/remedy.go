@@ -21,9 +21,51 @@ import (
 	"repro/internal/faults"
 	"repro/internal/index"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 )
+
+// remedyCounters resolves the remedy metric names once per run so the
+// per-region loop only does atomic adds. All fields may be nil (no
+// registry in ctx); the instruments no-op then.
+type remedyCounters struct {
+	added, removed, flipped, regions, skipped *obs.Counter
+}
+
+func newRemedyCounters(ctx context.Context) remedyCounters {
+	m := obs.MetricsFrom(ctx)
+	if m == nil {
+		return remedyCounters{}
+	}
+	return remedyCounters{
+		added:   m.Counter("remedy.samples_added"),
+		removed: m.Counter("remedy.samples_removed"),
+		flipped: m.Counter("remedy.samples_flipped"),
+		regions: m.Counter("remedy.regions"),
+		skipped: m.Counter("remedy.regions_skipped"),
+	}
+}
+
+// record folds one region action into the counters and stamps the
+// region's span.
+func (rc remedyCounters) record(sp *obs.Span, act Action) {
+	rc.regions.Inc()
+	rc.added.Add(int64(act.Added))
+	rc.removed.Add(int64(act.Removed))
+	rc.flipped.Add(int64(act.Flipped))
+	if act.Skipped != "" {
+		rc.skipped.Inc()
+	}
+	if sp != nil {
+		sp.SetInt("added", int64(act.Added))
+		sp.SetInt("removed", int64(act.Removed))
+		sp.SetInt("flipped", int64(act.Flipped))
+		if act.Skipped != "" {
+			sp.SetStr("skipped", act.Skipped)
+		}
+	}
+}
 
 // Technique selects the pre-processing technique of §IV-A.
 type Technique string
@@ -189,6 +231,21 @@ func ApplyCtx(ctx context.Context, d *dataset.Dataset, opts Options) (*dataset.D
 	rng := stats.NewRNG(opts.Seed)
 	rep := &Report{Technique: opts.Technique}
 
+	ctx, sp := obs.StartSpan(ctx, "remedy.apply")
+	sp.SetStr("technique", string(opts.Technique))
+	defer sp.End()
+	defer func() {
+		if sp == nil {
+			return
+		}
+		sp.SetInt("biased_regions", int64(rep.BiasedRegions))
+		sp.SetInt("added", int64(rep.Added))
+		sp.SetInt("removed", int64(rep.Removed))
+		sp.SetInt("flipped", int64(rep.Flipped))
+	}()
+	counters := newRemedyCounters(ctx)
+	lg := obs.LoggerFrom(ctx).Scope("remedy")
+
 	needRanker := opts.Technique == PreferentialSampling || opts.Technique == Massaging
 	if opts.OneShot {
 		return applyOneShot(ctx, cur, h, opts, rng, rep, needRanker)
@@ -205,7 +262,7 @@ func ApplyCtx(ctx context.Context, d *dataset.Dataset, opts Options) (*dataset.D
 			return nil, rep, err
 		}
 		if faults.Active() {
-			if err := faults.Fire(faults.RemedyNode, mask); err != nil {
+			if err := faults.FireCtx(ctx, faults.RemedyNode, mask); err != nil {
 				return nil, rep, fmt.Errorf("remedy: node %#x: %w", mask, err)
 			}
 		}
@@ -217,6 +274,9 @@ func ApplyCtx(ctx context.Context, d *dataset.Dataset, opts Options) (*dataset.D
 			continue
 		}
 		rep.BiasedRegions += len(regions)
+		if lg.On(obs.LevelDebug) {
+			lg.Debug("node", "mask", fmt.Sprintf("%#x", mask), "biased_regions", len(regions))
+		}
 		// The ranker scores borderline instances against the current
 		// dataset state (labels may have been flipped by earlier nodes).
 		var scores []float64
@@ -243,8 +303,17 @@ func ApplyCtx(ctx context.Context, d *dataset.Dataset, opts Options) (*dataset.D
 			} else {
 				rows = ix.RowsIn(h.Space, r.Pattern)
 			}
+			// Each region gets its own action span with the outcome
+			// stamped on it; the pattern string is only rendered when a
+			// tracer is actually recording.
+			_, rsp := obs.StartSpan(ctx, "remedy.region")
+			if rsp != nil {
+				rsp.SetStr("pattern", h.Space.String(r.Pattern))
+			}
 			muts = muts[:0]
 			act := applyRegion(cur, r, rows, opts.Technique, scores, &muts, rng)
+			counters.record(rsp, act)
+			rsp.End()
 			rep.Actions = append(rep.Actions, act)
 			rep.Added += act.Added
 			rep.Removed += act.Removed
@@ -305,6 +374,7 @@ func applyOneShot(ctx context.Context, cur *dataset.Dataset, h *core.Hierarchy, 
 		return nil, rep, err
 	}
 	rep.BiasedRegions = len(res.Regions)
+	counters := newRemedyCounters(ctx)
 	var scores []float64
 	if needRanker && len(res.Regions) > 0 {
 		var nb ml.NaiveBayes
@@ -340,8 +410,14 @@ func applyOneShot(ctx context.Context, cur *dataset.Dataset, h *core.Hierarchy, 
 		} else {
 			rows = h.Space.RowsIn(cur, r.Pattern)
 		}
+		_, rsp := obs.StartSpan(ctx, "remedy.region")
+		if rsp != nil {
+			rsp.SetStr("pattern", h.Space.String(r.Pattern))
+		}
 		var muts []mutation
 		act := applyRegion(cur, r, rows, opts.Technique, scores, &muts, rng)
+		counters.record(rsp, act)
+		rsp.End()
 		if act.Added+act.Removed > 0 {
 			// Label flips leave row membership intact; only appends and
 			// removals change which rows a later (possibly overlapping)
