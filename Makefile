@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check panicgate obs-check fuzz
+.PHONY: all build vet test race check panicgate obs-check serve-check fuzz
 
 all: check
 
@@ -33,8 +33,17 @@ obs-check:
 	$(GO) vet ./internal/obs/...
 	$(GO) test -race ./internal/obs/...
 
+# serve-check vets and race-tests the remedyd service layer (registry,
+# job engine, handlers, client) and the binary's end-to-end test: the
+# worker pool, cancellation, and shutdown paths are all
+# concurrency-sensitive, so they run under the race detector on every
+# check.
+serve-check:
+	$(GO) vet ./internal/serve/... ./cmd/remedyd/...
+	$(GO) test -race ./internal/serve/... ./cmd/remedyd/...
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 
-check: build vet panicgate obs-check race
+check: build vet panicgate obs-check serve-check race
 	@echo "all checks passed"

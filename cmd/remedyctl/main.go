@@ -27,6 +27,12 @@
 // -mode identify accepts -tree for a Fig. 1-style hierarchy view, and
 // -mode audit accepts -save-model to export the trained model as JSON.
 //
+// With -serve-url the identify/remedy/audit modes run remotely: the
+// dataset is registered with a running remedyd, the mode is submitted
+// as an async job built from the same flags, and the CLI polls the
+// job (interval -poll) until completion, printing the JSON result.
+// Ctrl-C cancels the remote job before exiting.
+//
 // Every mode honors -timeout and SIGINT: on expiry or Ctrl-C the
 // pipeline stops at the next cooperative checkpoint and -mode remedy
 // reports the partial remediation completed so far before exiting
@@ -43,7 +49,7 @@ package main
 
 import (
 	"context"
-	"expvar"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,8 +59,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -64,6 +72,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/remedy"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -102,6 +111,8 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		traceOut   = fs.String("trace-out", "", "write the pipeline's span tree as JSON to this file")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		serveURL   = fs.String("serve-url", "", "submit the job to a running remedyd at this base URL instead of running locally")
+		pollEvery  = fs.Duration("poll", 200*time.Millisecond, "status poll interval with -serve-url")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -168,6 +179,10 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	}
 	cfg := core.Config{TauC: *tauC, T: *tFlag, MinSize: *k, Scope: scope}
 
+	if *serveURL != "" {
+		return runRemote(ctx, *serveURL, *mode, d, *dsName, cfg, technique, *model, *seed, *pollEvery)
+	}
+
 	ctx, root := obs.StartSpan(ctx, "remedyctl."+*mode)
 	// Flush trace and metrics on every exit path — including timeouts and
 	// SIGINT — so an interrupted run still leaves a (partial but valid)
@@ -203,21 +218,26 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	return fmt.Errorf("unknown mode %q", *mode)
 }
 
-// pipelineMetrics holds the registry published on /debug/vars. expvar
-// registration is global and permanent, so the variable is published
-// once and repointed per run (tests call run repeatedly).
-var pipelineMetrics atomic.Pointer[obs.Registry]
+// pipelineMetrics holds the current run's registry; /debug/vars and
+// /metrics read through it so tests that call run repeatedly always
+// see the live registry. The HTTP publication itself is shared with
+// remedyd via the obs helpers (PublishExpvar, SnapshotHandler).
+var (
+	pipelineMetrics    atomic.Pointer[obs.Registry]
+	metricsHandlerOnce sync.Once
+)
 
-// servePprof exposes net/http/pprof and the live metrics registry (as
-// expvar "pipeline" on /debug/vars) on addr, in the background, for
-// the lifetime of the process. The listener is bound synchronously so
-// a bad address fails the run up front.
+// servePprof exposes net/http/pprof, the live metrics registry as
+// expvar "pipeline" on /debug/vars, and a JSON snapshot on /metrics,
+// on addr, in the background, for the lifetime of the process. The
+// listener is bound synchronously so a bad address fails the run up
+// front.
 func servePprof(addr string, m *obs.Registry, lg *obs.Logger) error {
-	if pipelineMetrics.Swap(m) == nil {
-		expvar.Publish("pipeline", expvar.Func(func() any {
-			return pipelineMetrics.Load().Expvar()
-		}))
-	}
+	pipelineMetrics.Store(m)
+	obs.PublishExpvar("pipeline", pipelineMetrics.Load)
+	metricsHandlerOnce.Do(func() {
+		http.Handle("/metrics", obs.SnapshotHandler(pipelineMetrics.Load))
+	})
 	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -229,6 +249,80 @@ func servePprof(addr string, m *obs.Registry, lg *obs.Logger) error {
 			lg.Error("pprof server stopped", "err", err)
 		}
 	}()
+	return nil
+}
+
+// runRemote is the -serve-url client mode: it registers the loaded
+// dataset with a running remedyd (streamed as CSV), submits the
+// selected mode as a job built from the same flags the local path
+// uses, polls until the job is terminal, and prints the JSON result.
+// Cancelling ctx (SIGINT, -timeout) cancels the remote job too before
+// returning, so an interrupted client does not leave work running
+// server-side.
+func runRemote(ctx context.Context, baseURL, mode string, d *dataset.Dataset, name string, cfg core.Config, tech remedy.Technique, model string, seed int64, poll time.Duration) error {
+	if mode != "identify" && mode != "remedy" && mode != "audit" {
+		return fmt.Errorf("-serve-url supports identify, remedy, and audit, not %q", mode)
+	}
+	client := serve.NewClient(baseURL)
+	var protected []string
+	for _, a := range d.Schema.Attrs {
+		if a.Protected {
+			protected = append(protected, a.Name)
+		}
+	}
+
+	// Stream the dataset up without materializing the CSV in memory.
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(d.WriteCSV(pw)) }()
+	info, err := client.UploadDataset(ctx, pr, name, d.Schema.Target, protected)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered dataset %s (%d rows, %d attrs)\n", info.ID, info.Rows, info.Attrs)
+
+	st, err := client.SubmitJob(ctx, serve.JobRequest{
+		Kind:      mode,
+		DatasetID: info.ID,
+		TauC:      cfg.TauC,
+		T:         cfg.T,
+		MinSize:   cfg.MinSize,
+		Scope:     cfg.Scope.String(),
+		Technique: string(tech),
+		Model:     model,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s as %s\n", mode, st.ID)
+
+	st, werr := client.Wait(ctx, st.ID, poll)
+	if werr != nil {
+		// Interrupted locally: cancel the remote job with a fresh
+		// short-lived context (ours is already dead).
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, cerr := client.Cancel(cctx, st.ID); cerr == nil {
+			fmt.Fprintf(os.Stderr, "remedyctl: interrupted, cancelled %s\n", st.ID)
+		}
+		return werr
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	var raw json.RawMessage
+	if err := client.Result(ctx, st.ID, &raw); err != nil {
+		return err
+	}
+	var pretty map[string]any
+	if err := json.Unmarshal(raw, &pretty); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
 	return nil
 }
 

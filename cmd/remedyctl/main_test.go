@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -234,5 +237,50 @@ func TestRunRemedyCancelled(t *testing.T) {
 	err := run(ctx, []string{"-mode", "remedy", "-dataset", "propublica"}, &errbuf)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("run under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunServeURL drives the -serve-url client mode against an
+// in-process remedyd: the CLI uploads the dataset, submits the job,
+// polls to completion, and prints the JSON result.
+func TestRunServeURL(t *testing.T) {
+	silenceStdout(t)
+	ctx := context.Background()
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 8})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+	})
+
+	csvPath := filepath.Join(t.TempDir(), "compas.csv")
+	if err := synth.CompasN(800, 4).WriteCSVFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{
+		"-serve-url", hs.URL, "-poll", "5ms",
+		"-input", csvPath, "-target", "two_year_recid", "-protected", "age,race,sex",
+	}
+	for _, mode := range []string{"identify", "remedy"} {
+		if err := run(ctx, append([]string{"-mode", mode}, common...), io.Discard); err != nil {
+			t.Fatalf("remote %s: %v", mode, err)
+		}
+	}
+
+	// Modes without a remote counterpart are rejected up front.
+	err := run(ctx, append([]string{"-mode", "train"}, common...), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-serve-url supports") {
+		t.Fatalf("remote train = %v, want unsupported-mode error", err)
+	}
+
+	// A dead server surfaces the transport error, not a hang.
+	err = run(ctx, []string{"-mode", "identify", "-serve-url", "http://127.0.0.1:1",
+		"-input", csvPath, "-target", "two_year_recid", "-protected", "age,race,sex"}, io.Discard)
+	if err == nil {
+		t.Fatal("unreachable server must error")
 	}
 }

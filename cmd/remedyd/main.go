@@ -1,0 +1,130 @@
+// Command remedyd serves the fairness-repair pipeline over HTTP/JSON:
+// a dataset registry plus an async job engine running identify,
+// remedy, train, and audit jobs on a bounded worker pool.
+//
+// Usage:
+//
+//	remedyd -addr localhost:8080
+//
+//	# Register a dataset (streamed, size-capped, content-addressed):
+//	curl -X POST --data-binary @compas.csv \
+//	    'http://localhost:8080/datasets?target=two_year_recid&protected=age,race,sex'
+//
+//	# Submit an identify job and poll it:
+//	curl -X POST http://localhost:8080/jobs \
+//	    -d '{"kind":"identify","dataset_id":"ds-…","tau_c":0.1}'
+//	curl http://localhost:8080/jobs/job-000001
+//	curl http://localhost:8080/jobs/job-000001/result
+//
+// GET /healthz reports queue state; GET /metrics serves the obs
+// registry snapshot; DELETE /jobs/{id} cancels. On SIGINT/SIGTERM the
+// server stops accepting work, drains running jobs within
+// -drain-timeout, and marks everything else cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "remedyd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server from argv and serves until ctx is cancelled
+// (SIGINT/SIGTERM in main; a test cancel in tests). ready, when
+// non-nil, receives the bound address once the listener is up — tests
+// use it to connect without racing the bind.
+var ready chan<- string
+
+func run(ctx context.Context, argv []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("remedyd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "listen address")
+		workers      = fs.Int("workers", 4, "job worker pool size")
+		queue        = fs.Int("queue", 16, "job queue depth (full queue = 429)")
+		maxDatasets  = fs.Int("max-datasets", 16, "resident dataset capacity (LRU eviction)")
+		maxRows      = fs.Int("max-upload-rows", 2_000_000, "per-upload row cap")
+		maxBytes     = fs.Int64("max-upload-bytes", 256<<20, "per-upload byte cap")
+		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		verbose      = fs.Bool("v", false, "info-level structured logging to stderr")
+		veryVerb     = fs.Bool("vv", false, "debug-level structured logging to stderr")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelInfo
+	}
+	if *veryVerb {
+		level = obs.LevelDebug
+	}
+	lg := obs.NewLogger(errw, level)
+
+	srv := serve.New(serve.Config{
+		MaxDatasets:    *maxDatasets,
+		MaxUploadRows:  *maxRows,
+		MaxUploadBytes: *maxBytes,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		Logger:         lg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	lg.Info("remedyd serving", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue)
+	fmt.Fprintf(errw, "remedyd listening on %s\n", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop intake, drain jobs within the budget,
+	// then close the HTTP server (bounded by the same budget).
+	lg.Info("shutting down", "drain", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		fmt.Fprintf(errw, "remedyd: drain deadline hit, running jobs cancelled\n")
+	}
+	lg.Info("shutdown complete")
+	return nil
+}

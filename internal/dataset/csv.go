@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -50,12 +51,54 @@ func (d *Dataset) WriteCSVFile(path string) error {
 	return f.Close()
 }
 
+// ErrTooLarge is returned by ReadCSVLimit when the input exceeds its
+// row or byte budget. Wrapped errors carry the specific limit; callers
+// test with errors.Is(err, ErrTooLarge).
+var ErrTooLarge = errors.New("dataset: input exceeds size limit")
+
 // ReadCSV reads a dataset written by WriteCSV (or any categorical CSV
 // with a header). The last column named target carries the 0/1 label;
 // every other column becomes a categorical attribute whose domain is
 // the set of distinct strings in column order of first appearance.
 // protected lists attribute names to mark as protected.
 func ReadCSV(r io.Reader, target string, protected []string) (*Dataset, error) {
+	return ReadCSVLimit(r, target, protected, 0, 0)
+}
+
+// limitedReader fails with ErrTooLarge once more than its budget has
+// been consumed (unlike io.LimitReader's silent EOF, which would make
+// a truncated upload look like a complete dataset). It is constructed
+// with one byte of slack so an input of exactly the budget still
+// parses: the error fires only when the source provably exceeds it.
+type limitedReader struct {
+	r io.Reader
+	n int64 // remaining allowance, budget+1 at construction
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, fmt.Errorf("%w: byte budget exhausted", ErrTooLarge)
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// ReadCSVLimit is ReadCSV with streaming resource caps, the entry
+// point for untrusted input (the remedyd upload path). maxRows bounds
+// the number of data rows and maxBytes the bytes consumed from r;
+// exceeding either aborts the parse with an error satisfying
+// errors.Is(err, ErrTooLarge). A zero (or negative) limit means
+// unlimited. The input is never buffered whole: the byte cap is
+// enforced on the stream, so an over-budget body costs at most
+// maxBytes of reading.
+func ReadCSVLimit(r io.Reader, target string, protected []string, maxRows int, maxBytes int64) (*Dataset, error) {
+	if maxBytes > 0 {
+		r = &limitedReader{r: r, n: maxBytes + 1}
+	}
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
@@ -100,6 +143,9 @@ func ReadCSV(r io.Reader, target string, protected []string) (*Dataset, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if maxRows > 0 && d.Len() >= maxRows {
+			return nil, fmt.Errorf("%w: more than %d data rows", ErrTooLarge, maxRows)
 		}
 		row := make([]int32, len(schema.Attrs))
 		var label int8

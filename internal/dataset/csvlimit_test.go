@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// limitCSV builds a small CSV with n data rows.
+func limitCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("race,sex,label\n")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			b.WriteString("a,m,1\n")
+		} else {
+			b.WriteString("b,f,0\n")
+		}
+	}
+	return b.String()
+}
+
+func TestReadCSVLimitUnlimited(t *testing.T) {
+	d, err := ReadCSVLimit(strings.NewReader(limitCSV(10)), "label", []string{"race"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("rows = %d, want 10", d.Len())
+	}
+}
+
+func TestReadCSVLimitRowCap(t *testing.T) {
+	_, err := ReadCSVLimit(strings.NewReader(limitCSV(11)), "label", []string{"race"}, 10, 0)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// Exactly at the cap parses.
+	d, err := ReadCSVLimit(strings.NewReader(limitCSV(10)), "label", []string{"race"}, 10, 0)
+	if err != nil || d.Len() != 10 {
+		t.Fatalf("at-cap parse = %v, %v", d, err)
+	}
+}
+
+func TestReadCSVLimitByteCap(t *testing.T) {
+	body := limitCSV(50)
+	_, err := ReadCSVLimit(strings.NewReader(body), "label", []string{"race"}, 0, int64(len(body)-1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// An input of exactly the budget still parses (the cap means "no
+	// more than", not "strictly less").
+	d, err := ReadCSVLimit(strings.NewReader(body), "label", []string{"race"}, 0, int64(len(body)))
+	if err != nil || d.Len() != 50 {
+		t.Fatalf("at-cap parse = %v, %v", d, err)
+	}
+}
+
+func TestReadCSVLimitByteCapTinyHeader(t *testing.T) {
+	// The cap applies to the header read too: a budget smaller than
+	// the header must fail with ErrTooLarge, not a bare read error.
+	_, err := ReadCSVLimit(strings.NewReader(limitCSV(5)), "label", []string{"race"}, 0, 4)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadCSVIsUnlimitedAlias(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(limitCSV(3)), "label", []string{"sex"})
+	if err != nil || d.Len() != 3 {
+		t.Fatalf("ReadCSV = %v, %v", d, err)
+	}
+}

@@ -45,6 +45,12 @@ const (
 	// TrainEpoch fires once per training epoch/tree of the context-aware
 	// learners. The argument is the epoch or tree index (int).
 	TrainEpoch Point = "ml.train.epoch"
+	// ServeJob fires when a remedyd worker picks a job up, before any
+	// pipeline work. The argument is the job ID (string). Hooks block
+	// here to hold worker slots (queue-backpressure tests), return an
+	// error to fail the job at the server layer, or panic to simulate a
+	// worker crash the engine must absorb.
+	ServeJob Point = "serve.job.start"
 )
 
 // Hook is an injected behavior. Returning a non-nil error makes the

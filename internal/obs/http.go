@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// This file is the one place the observability layer touches net/http:
+// a JSON snapshot handler (the /metrics endpoint of remedyd) and a
+// re-pointable expvar publication (the /debug/vars view of remedyctl's
+// -pprof server). Both commands share these helpers instead of
+// carrying private copies.
+
+// SnapshotHandler returns an http.Handler that serves the current
+// registry snapshot as indented JSON. src is called per request, so
+// callers whose registry changes between runs pass a closure over
+// their current registry; a nil registry serves an empty snapshot.
+func SnapshotHandler(src func() *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// WriteJSON is nil-receiver safe; encoding a snapshot cannot
+		// fail, so any error here is the client hanging up mid-write.
+		_ = src().WriteJSON(w)
+	})
+}
+
+// expvar.Publish is global and permanent and refuses duplicates, but
+// callers (remedyctl's run, invoked repeatedly by tests) need to
+// re-point a published name at a fresh registry. Each name is
+// published once with an indirection through this table.
+var (
+	expvarMu  sync.Mutex
+	expvarSrc = map[string]func() *Registry{}
+)
+
+// PublishExpvar publishes the registry source under name on
+// /debug/vars. The first call for a name registers it with expvar;
+// later calls simply swap the source, so the same name can follow a
+// per-run registry across runs.
+func PublishExpvar(name string, src func() *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ok := expvarSrc[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			cur := expvarSrc[name]
+			expvarMu.Unlock()
+			if cur == nil {
+				return Snapshot{}
+			}
+			return cur().Expvar()
+		}))
+	}
+	expvarSrc[name] = src
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSnapshotHandler(t *testing.T) {
+	m := NewRegistry()
+	m.Counter("x.count").Add(7)
+	h := SnapshotHandler(func() *Registry { return m })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x.count"] != 7 {
+		t.Fatalf("counter = %d, want 7", snap.Counters["x.count"])
+	}
+}
+
+func TestSnapshotHandlerNilRegistry(t *testing.T) {
+	h := SnapshotHandler(func() *Registry { return nil })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("nil registry must serve an empty snapshot: %v", err)
+	}
+}
+
+func TestPublishExpvarRepoints(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("n").Add(1)
+	b.Counter("n").Add(2)
+	PublishExpvar("obs_test_metric", func() *Registry { return a })
+	// Re-publishing the same name must not panic (expvar.Publish
+	// would) and must repoint the source.
+	PublishExpvar("obs_test_metric", func() *Registry { return b })
+	v := expvar.Get("obs_test_metric")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["n"] != 2 {
+		t.Fatalf("counter = %d, want the repointed registry's 2", snap.Counters["n"])
+	}
+}

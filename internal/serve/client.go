@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a minimal HTTP client for a running remedyd, speaking the
+// same wire types the handlers serve. remedyctl -serve-url is built
+// on it; tests drive it against httptest servers.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is returned for any non-2xx response, carrying the
+// server's error envelope.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Msg)
+}
+
+// do issues one request and decodes the JSON response into out (when
+// out is non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); derr != nil || eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UploadDataset streams a CSV body into the registry and returns the
+// registered entry. Uploading the same content twice is idempotent.
+func (c *Client) UploadDataset(ctx context.Context, csv io.Reader, name, target string, protected []string) (DatasetInfo, error) {
+	q := url.Values{}
+	q.Set("target", target)
+	q.Set("protected", strings.Join(protected, ","))
+	if name != "" {
+		q.Set("name", name)
+	}
+	var info DatasetInfo
+	err := c.do(ctx, http.MethodPost, "/datasets?"+q.Encode(), csv, &info)
+	return info, err
+}
+
+// Dataset fetches one dataset's info and cached profile.
+func (c *Client) Dataset(ctx context.Context, id string) (DatasetDetail, error) {
+	var d DatasetDetail
+	err := c.do(ctx, http.MethodGet, "/datasets/"+url.PathEscape(id), nil, &d)
+	return d, err
+}
+
+// SubmitJob queues a job and returns its initial status.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/jobs", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// Job fetches one job's status (including progress counters).
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Cancel requests cancellation and returns the post-cancel status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Result decodes a finished job's result payload into out (pass a
+// *IdentifyResult, *RemedyResult, … or *json.RawMessage). Fetching
+// the result of an unfinished job is a 409 from the server.
+func (c *Client) Result(ctx context.Context, id string, out any) error {
+	return c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id)+"/result", nil, out)
+}
+
+// Wait polls the job every interval until it reaches a terminal state
+// or ctx is cancelled, returning the final status.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}

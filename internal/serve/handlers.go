@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// routes builds the server's mux. All routing uses the standard
+// library's method-and-wildcard patterns; there is no framework.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.SnapshotHandler(func() *obs.Registry { return s.metrics }))
+	return mux
+}
+
+// Handler returns the server's HTTP handler with request accounting
+// wrapped around the routes.
+func (s *Server) Handler() http.Handler {
+	mux := s.routes()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Counter("serve.http_requests").Inc()
+		mux.ServeHTTP(w, r)
+		s.metrics.Histogram("serve.http_duration_ms", obs.DefaultDurationBucketsMS).
+			Observe(float64(time.Since(start).Milliseconds()))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps the library's sentinel errors onto HTTP statuses:
+// missing resources are 404, a full queue is 429 (backpressure), an
+// over-budget upload is 413, a pinned-full registry is 507, shutdown
+// is 503, conflicts are 409, and anything else from request handling
+// is a 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrDatasetNotFound), errors.Is(err, ErrJobNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, dataset.ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrRegistryFull):
+		status = http.StatusInsufficientStorage
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDatasetBusy), errors.Is(err, ErrJobNotDone):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// handleDatasetUpload is POST /datasets?target=...&protected=a,b[&name=...]
+// with the CSV as the request body, streamed through the size caps.
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	target := q.Get("target")
+	if target == "" {
+		writeError(w, errors.New("query parameter target is required"))
+		return
+	}
+	var protected []string
+	if p := q.Get("protected"); p != "" {
+		protected = strings.Split(p, ",")
+	}
+	if len(protected) == 0 {
+		writeError(w, errors.New("query parameter protected is required (comma-separated attribute names)"))
+		return
+	}
+	info, err := s.registry.Put(r.Body, q.Get("name"), target, protected)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.Counter("serve.datasets_uploaded").Inc()
+	s.metrics.Histogram("serve.upload_bytes", []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}).
+		Observe(float64(info.Bytes))
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	detail, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.registry.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobSubmit is POST /jobs with a JobRequest body. The request
+// is validated and the dataset reference acquired before the job is
+// queued, so a queued job can always run; a full queue is an
+// immediate 429.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, err := validateRequest(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	_, release, err := s.registry.Acquire(req.DatasetID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.engine.Submit(req, release)
+	if err != nil {
+		// Submit released the dataset reference already.
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult is GET /jobs/{id}/result: the job's typed result
+// payload once done, 409 while it is still queued or running, and the
+// error detail for failed/cancelled jobs.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	j.mu.Lock()
+	state, res, errMsg := j.state, j.result, j.errMsg
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusOK, struct {
+			State State  `json:"state"`
+			Error string `json:"error"`
+		}{state, errMsg})
+	default:
+		writeError(w, fmt.Errorf("%w: state %s", ErrJobNotDone, state))
+	}
+}
+
+// handleJobTrace serves the job's span tree as JSON — the per-job
+// equivalent of remedyctl -trace-out.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.engine.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.tracer.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	queued, running := s.engine.counts()
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		Datasets: s.registry.Len(),
+		Queued:   queued,
+		Running:  running,
+	})
+}

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Engine errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue has no
+	// room — the server's backpressure signal (429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrShuttingDown is returned by Submit once Shutdown has begun
+	// (503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrJobNotFound is returned for an unknown job ID (404).
+	ErrJobNotFound = errors.New("serve: job not found")
+	// ErrJobNotDone is returned when fetching the result of a job that
+	// has not reached a terminal state (409).
+	ErrJobNotDone = errors.New("serve: job not finished")
+)
+
+// job is the engine's internal record for one submitted job. The
+// mutex guards the mutable lifecycle fields; the immutable identity
+// fields (id, req) are safe to read bare.
+type job struct {
+	id  string
+	req JobRequest
+
+	mu         sync.Mutex
+	state      State
+	errMsg     string
+	result     any
+	cancel     context.CancelFunc // set while running
+	cancelWant bool               // Cancel called; disambiguates ctx.Canceled
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+
+	// metrics is the job's private registry: the pipeline's counters
+	// accumulate here and GET /jobs/{id} snapshots them as progress.
+	metrics *obs.Registry
+	// tracer records the job's span tree, served by /jobs/{id}/trace.
+	tracer *obs.Tracer
+	// release returns the dataset reference taken at submission.
+	release func()
+	// done is closed on entry to any terminal state.
+	done chan struct{}
+}
+
+// status snapshots the job's public view.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		Kind:       j.req.Kind,
+		DatasetID:  j.req.DatasetID,
+		State:      j.state,
+		Error:      j.errMsg,
+		EnqueuedAt: j.enqueued,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if counters := j.metrics.Snapshot().Counters; len(counters) > 0 {
+		st.Progress = counters
+	}
+	return st
+}
+
+// runnerFunc executes one job's pipeline work under its context.
+type runnerFunc func(ctx context.Context, j *job) (any, error)
+
+// engine is the bounded worker pool behind POST /jobs. Jobs flow
+// through a buffered channel (the queue); a fixed set of worker
+// goroutines drains it. Submission never blocks: a full queue is an
+// immediate ErrQueueFull.
+type engine struct {
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string // submission order, for GET /jobs
+	queue      chan *job
+	closed     bool
+	seq        int
+	seqRunning int // currently-running job count, behind mu
+	wg         sync.WaitGroup
+	baseCtx    context.Context // cancelled to hard-stop running jobs
+	abort      context.CancelFunc
+
+	jobTimeout time.Duration // default per-job deadline
+	maxTimeout time.Duration // clamp for request-supplied deadlines
+	run        runnerFunc
+	metrics    *obs.Registry // server-level registry
+	logger     *obs.Logger
+}
+
+func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, run runnerFunc, m *obs.Registry, lg *obs.Logger) *engine {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueDepth <= 0 {
+		queueDepth = 16
+	}
+	ctx, abort := context.WithCancel(context.Background())
+	e := &engine{
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, queueDepth),
+		baseCtx:    ctx,
+		abort:      abort,
+		jobTimeout: jobTimeout,
+		maxTimeout: maxTimeout,
+		run:        run,
+		metrics:    m,
+		logger:     lg,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates nothing (the handler already has), records the job
+// and enqueues it. release is the dataset reference to return when
+// the job reaches a terminal state; on submission failure Submit
+// releases it itself.
+func (e *engine) Submit(req JobRequest, release func()) (*job, error) {
+	j := &job{
+		req:      req,
+		state:    StateQueued,
+		enqueued: time.Now(),
+		metrics:  obs.NewRegistry(),
+		tracer:   obs.NewTracer(),
+		release:  release,
+		done:     make(chan struct{}),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		release()
+		return nil, ErrShuttingDown
+	}
+	e.seq++
+	j.id = fmt.Sprintf("job-%06d", e.seq)
+	select {
+	case e.queue <- j:
+	default:
+		e.mu.Unlock()
+		release()
+		e.metrics.Counter("serve.jobs_rejected").Inc()
+		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, cap(e.queue))
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.mu.Unlock()
+	e.metrics.Counter("serve.jobs_submitted").Inc()
+	e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
+	e.logger.Info("job queued", "job", j.id, "kind", req.Kind, "dataset", req.DatasetID)
+	return j, nil
+}
+
+// Job returns the engine's record for id.
+func (e *engine) Job(id string) (*job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+// List returns every job's status in submission order.
+func (e *engine) List() []JobStatus {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job goes terminal
+// immediately; a running job has its context cancelled and goes
+// terminal when the pipeline unwinds to its next cooperative
+// checkpoint. Cancelling a terminal job is a no-op.
+func (e *engine) Cancel(id string) (JobStatus, error) {
+	j, err := e.Job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.mu.Lock()
+	j.cancelWant = true
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually dequeues it sees the terminal
+		// state and skips.
+		j.finishLocked(StateCancelled, "cancelled while queued")
+	case StateRunning:
+		j.cancel()
+	}
+	j.mu.Unlock()
+	return j.status(), nil
+}
+
+// finishLocked moves the job to a terminal state. Caller holds j.mu.
+func (j *job) finishLocked(s State, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if j.release != nil {
+		j.release()
+	}
+	close(j.done)
+}
+
+// counts returns the number of non-terminal jobs by state.
+func (e *engine) counts() (queued, running int) {
+	e.mu.Lock()
+	jobs := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+func (e *engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
+		e.runOne(j)
+	}
+}
+
+// runOne executes one dequeued job end to end.
+func (e *engine) runOne(j *job) {
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	timeout := e.jobTimeout
+	if j.req.TimeoutMS > 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	}
+	if e.maxTimeout > 0 && (timeout <= 0 || timeout > e.maxTimeout) {
+		timeout = e.maxTimeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	// The job's observability is private: its own registry (progress
+	// counters) and tracer (span tree), plus the server's logger.
+	ctx = obs.WithMetrics(ctx, j.metrics)
+	ctx = obs.WithTracer(ctx, j.tracer)
+	ctx = obs.WithLogger(ctx, e.logger)
+	ctx, sp := obs.StartSpan(ctx, "serve.job")
+	sp.SetStr("job", j.id)
+	sp.SetStr("kind", j.req.Kind)
+
+	e.metrics.Gauge("serve.jobs_running").Set(float64(e.running(+1)))
+	e.logger.Info("job started", "job", j.id, "kind", j.req.Kind)
+	res, err := e.invoke(ctx, j)
+	sp.End()
+	e.metrics.Gauge("serve.jobs_running").Set(float64(e.running(-1)))
+	e.metrics.Histogram("serve.job_duration_ms", obs.DefaultDurationBucketsMS).
+		Observe(float64(time.Since(j.started).Milliseconds()))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.result = res
+		j.finishLocked(StateDone, "")
+		e.metrics.Counter("serve.jobs_done").Inc()
+		e.logger.Info("job done", "job", j.id)
+	case j.cancelWant || errors.Is(err, context.Canceled):
+		// DELETE /jobs/{id} or shutdown: both surface as cancelled.
+		j.finishLocked(StateCancelled, err.Error())
+		e.metrics.Counter("serve.jobs_cancelled").Inc()
+		e.logger.Info("job cancelled", "job", j.id, "err", err)
+	default:
+		j.finishLocked(StateFailed, err.Error())
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.logger.Error("job failed", "job", j.id, "err", err)
+	}
+}
+
+// invoke runs the job's pipeline stage, converting a panic anywhere
+// under the runner (including injected worker crashes that escape the
+// library's own recovery) into an error so one bad job cannot take a
+// worker goroutine down with it.
+func (e *engine) invoke(ctx context.Context, j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := faults.FireCtx(ctx, faults.ServeJob, j.id); err != nil {
+		return nil, err
+	}
+	return e.run(ctx, j)
+}
+
+// running adjusts and returns the live-worker gauge count.
+func (e *engine) running(delta int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seqRunning += delta
+	return e.seqRunning
+}
+
+// Shutdown stops intake, discards the queue (those jobs go
+// cancelled), and waits for running jobs to drain. If ctx expires
+// first the engine cancels its base context — every running job stops
+// at its next cooperative checkpoint and is marked cancelled — and
+// waits for the workers to exit.
+func (e *engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	// Drain queued jobs: they never ran, they are cancelled outright.
+	for {
+		select {
+		case j := <-e.queue:
+			j.mu.Lock()
+			j.finishLocked(StateCancelled, "server shutting down")
+			j.mu.Unlock()
+			e.metrics.Counter("serve.jobs_cancelled").Inc()
+		default:
+			close(e.queue)
+			e.mu.Unlock()
+			goto drained
+		}
+	}
+drained:
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline hit: hard-cancel the stragglers and wait for
+		// the cooperative unwind (bounded by the pipeline's checkpoint
+		// stride, not by the jobs' full runtime).
+		err = ctx.Err()
+		e.abort()
+		<-done
+	}
+	e.abort() // release the base context either way
+	return err
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrDatasetNotFound is returned for an unknown dataset ID (404).
+	ErrDatasetNotFound = errors.New("serve: dataset not found")
+	// ErrDatasetBusy is returned when deleting a dataset that live
+	// jobs still reference (409).
+	ErrDatasetBusy = errors.New("serve: dataset is referenced by running jobs")
+	// ErrRegistryFull is returned when the registry is at capacity and
+	// every resident dataset is pinned by a job reference (507).
+	ErrRegistryFull = errors.New("serve: dataset registry full")
+)
+
+// Registry is the server's resident dataset store. Datasets are keyed
+// by content hash (upload is idempotent), profiled once at admission
+// (the Describe summary is cached), and evicted least-recently-used
+// when capacity is exceeded — but never while a job holds a
+// reference, which is what Acquire/release ref-counting guarantees.
+type Registry struct {
+	mu sync.Mutex
+	// capacity is the maximum number of resident datasets; maxRows and
+	// maxBytes cap one upload (enforced by dataset.ReadCSVLimit).
+	capacity int
+	maxRows  int
+	maxBytes int64
+	clock    int64 // LRU tick, bumped on every touch
+	entries  map[string]*regEntry
+}
+
+type regEntry struct {
+	info     DatasetInfo
+	summary  []AttrProfile
+	data     *dataset.Dataset
+	refs     int
+	lastUsed int64
+}
+
+// NewRegistry returns a registry holding at most capacity datasets,
+// admitting uploads of at most maxRows data rows and maxBytes CSV
+// bytes (zero = unlimited, as in dataset.ReadCSVLimit).
+func NewRegistry(capacity, maxRows int, maxBytes int64) *Registry {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Registry{
+		capacity: capacity,
+		maxRows:  maxRows,
+		maxBytes: maxBytes,
+		entries:  map[string]*regEntry{},
+	}
+}
+
+// countingWriter tracks bytes fed to the content hash.
+type countingWriter struct {
+	w hash.Hash
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Put streams a CSV body into the registry: the bytes are hashed and
+// parsed in one pass (never buffered whole), the dataset is profiled,
+// and the entry is admitted under its content-derived ID. Uploading
+// identical content with the same target/protected configuration
+// returns the existing entry. Size violations surface
+// dataset.ErrTooLarge; a full registry with no evictable entry
+// surfaces ErrRegistryFull.
+func (rg *Registry) Put(r io.Reader, name, target string, protected []string) (DatasetInfo, error) {
+	h := sha256.New()
+	// The target and protected set are part of the identity: the same
+	// CSV parsed with a different label column is a different dataset.
+	fmt.Fprintf(h, "target=%s;protected=%v;", target, protected)
+	cw := &countingWriter{w: h}
+	d, err := dataset.ReadCSVLimit(io.TeeReader(r, cw), target, protected, rg.maxRows, rg.maxBytes)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	id := "ds-" + hex.EncodeToString(h.Sum(nil))[:16]
+	return rg.admit(id, name, d, cw.n)
+}
+
+// PutDataset admits an already-materialized dataset (a remedy job's
+// output). The ID is derived from the canonical CSV serialization, so
+// identical results dedup the same way uploads do.
+func (rg *Registry) PutDataset(d *dataset.Dataset, name string) (DatasetInfo, error) {
+	h := sha256.New()
+	var protected []string
+	for _, a := range d.Schema.Attrs {
+		if a.Protected {
+			protected = append(protected, a.Name)
+		}
+	}
+	fmt.Fprintf(h, "target=%s;protected=%v;", d.Schema.Target, protected)
+	if err := d.WriteCSV(h); err != nil {
+		return DatasetInfo{}, err
+	}
+	id := "ds-" + hex.EncodeToString(h.Sum(nil))[:16]
+	return rg.admit(id, name, d, 0)
+}
+
+func (rg *Registry) admit(id, name string, d *dataset.Dataset, bytes int64) (DatasetInfo, error) {
+	var protected []string
+	for _, a := range d.Schema.Attrs {
+		if a.Protected {
+			protected = append(protected, a.Name)
+		}
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if e, ok := rg.entries[id]; ok {
+		rg.clock++
+		e.lastUsed = rg.clock
+		return rg.infoLocked(e), nil
+	}
+	if err := rg.evictLocked(); err != nil {
+		return DatasetInfo{}, err
+	}
+	e := &regEntry{
+		info: DatasetInfo{
+			ID:        id,
+			Name:      name,
+			Target:    d.Schema.Target,
+			Protected: protected,
+			Rows:      d.Len(),
+			Attrs:     len(d.Schema.Attrs),
+			Positives: d.PositiveCount(),
+			BaseRate:  d.BaseRate(),
+			Bytes:     bytes,
+		},
+		summary: profile(d),
+		data:    d,
+	}
+	rg.clock++
+	e.lastUsed = rg.clock
+	rg.entries[id] = e
+	return rg.infoLocked(e), nil
+}
+
+// evictLocked makes room for one more entry, dropping the
+// least-recently-used unreferenced dataset if the registry is full.
+func (rg *Registry) evictLocked() error {
+	if len(rg.entries) < rg.capacity {
+		return nil
+	}
+	victim := ""
+	var oldest int64
+	for id, e := range rg.entries {
+		if e.refs > 0 {
+			continue
+		}
+		if victim == "" || e.lastUsed < oldest {
+			victim, oldest = id, e.lastUsed
+		}
+	}
+	if victim == "" {
+		return fmt.Errorf("%w: %d datasets resident, all referenced", ErrRegistryFull, len(rg.entries))
+	}
+	delete(rg.entries, victim)
+	return nil
+}
+
+// profile computes the cached Describe summary.
+func profile(d *dataset.Dataset) []AttrProfile {
+	sums := d.Describe()
+	out := make([]AttrProfile, len(sums))
+	for i, s := range sums {
+		out[i] = AttrProfile{
+			Name:      s.Name,
+			Protected: s.Protected,
+			Ordered:   s.Ordered,
+			Values:    append([]string(nil), d.Schema.Attrs[i].Values...),
+			Counts:    s.Counts,
+			PosRate:   s.PosRate,
+		}
+	}
+	return out
+}
+
+func (rg *Registry) infoLocked(e *regEntry) DatasetInfo {
+	info := e.info
+	info.Refs = e.refs
+	return info
+}
+
+// Get returns the info and cached profile for one dataset.
+func (rg *Registry) Get(id string) (DatasetDetail, error) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return DatasetDetail{}, fmt.Errorf("%w: %s", ErrDatasetNotFound, id)
+	}
+	rg.clock++
+	e.lastUsed = rg.clock
+	return DatasetDetail{DatasetInfo: rg.infoLocked(e), Summary: e.summary}, nil
+}
+
+// List returns every resident dataset, most recently used first.
+func (rg *Registry) List() []DatasetInfo {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	type pair struct {
+		info DatasetInfo
+		used int64
+	}
+	pairs := make([]pair, 0, len(rg.entries))
+	for _, e := range rg.entries {
+		pairs = append(pairs, pair{rg.infoLocked(e), e.lastUsed})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].used > pairs[j].used })
+	out := make([]DatasetInfo, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.info
+	}
+	return out
+}
+
+// Acquire pins a dataset against eviction and returns it with a
+// release func. Jobs acquire at submission (so a queued job's data
+// cannot be evicted underneath it) and release when they reach a
+// terminal state. release is idempotent.
+func (rg *Registry) Acquire(id string) (*dataset.Dataset, func(), error) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrDatasetNotFound, id)
+	}
+	e.refs++
+	rg.clock++
+	e.lastUsed = rg.clock
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			rg.mu.Lock()
+			defer rg.mu.Unlock()
+			e.refs--
+		})
+	}
+	return e.data, release, nil
+}
+
+// Delete removes an unreferenced dataset; deleting one that live jobs
+// still hold fails with ErrDatasetBusy.
+func (rg *Registry) Delete(id string) error {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	e, ok := rg.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrDatasetNotFound, id)
+	}
+	if e.refs > 0 {
+		return fmt.Errorf("%w: %s has %d references", ErrDatasetBusy, id, e.refs)
+	}
+	delete(rg.entries, id)
+	return nil
+}
+
+// Len returns the number of resident datasets.
+func (rg *Registry) Len() int {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	return len(rg.entries)
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// regCSV builds a small CSV body with n data rows.
+func regCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("race,sex,label\n")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			b.WriteString("a,m,1\n")
+		} else {
+			b.WriteString("b,f,0\n")
+		}
+	}
+	return b.String()
+}
+
+func mustPut(t *testing.T, rg *Registry, body, name string) DatasetInfo {
+	t.Helper()
+	info, err := rg.Put(strings.NewReader(body), name, "label", []string{"race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestRegistryContentIdentity(t *testing.T) {
+	rg := NewRegistry(8, 0, 0)
+	a := mustPut(t, rg, regCSV(10), "a")
+	b := mustPut(t, rg, regCSV(10), "ignored") // same bytes, same config
+	if a.ID != b.ID {
+		t.Fatalf("identical content got distinct IDs %s / %s", a.ID, b.ID)
+	}
+	if rg.Len() != 1 {
+		t.Fatalf("registry holds %d entries, want 1 (dedup)", rg.Len())
+	}
+	if a.Rows != 10 || a.Bytes != int64(len(regCSV(10))) {
+		t.Fatalf("info = %+v", a)
+	}
+
+	// Same bytes under a different protected set is a different dataset.
+	c, err := rg.Put(strings.NewReader(regCSV(10)), "c", "label", []string{"sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("different protected config must produce a different ID")
+	}
+}
+
+func TestRegistryUploadCaps(t *testing.T) {
+	rg := NewRegistry(8, 5, 0)
+	if _, err := rg.Put(strings.NewReader(regCSV(6)), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
+		t.Fatalf("row cap err = %v", err)
+	}
+	body := regCSV(6)
+	rg = NewRegistry(8, 0, int64(len(body)-1))
+	if _, err := rg.Put(strings.NewReader(body), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
+		t.Fatalf("byte cap err = %v", err)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	rg := NewRegistry(2, 0, 0)
+	a := mustPut(t, rg, regCSV(2), "a")
+	b := mustPut(t, rg, regCSV(4), "b")
+	if _, err := rg.Get(a.ID); err != nil { // touch a: b is now LRU
+		t.Fatal(err)
+	}
+	c := mustPut(t, rg, regCSV(6), "c")
+	if _, err := rg.Get(b.ID); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("LRU entry b should be evicted, got %v", err)
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, err := rg.Get(id); err != nil {
+			t.Fatalf("survivor %s: %v", id, err)
+		}
+	}
+}
+
+func TestRegistryEvictionRespectsRefs(t *testing.T) {
+	rg := NewRegistry(2, 0, 0)
+	a := mustPut(t, rg, regCSV(2), "a")
+	b := mustPut(t, rg, regCSV(4), "b")
+	_, releaseA, err := rg.Acquire(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, releaseB, err := rg.Acquire(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both pinned: a third dataset cannot be admitted.
+	if _, err := rg.Put(strings.NewReader(regCSV(6)), "c", "label", []string{"race"}); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("pinned-full err = %v", err)
+	}
+
+	// Releasing a makes it the only evictable entry.
+	releaseA()
+	releaseA() // idempotent: must not double-decrement
+	c := mustPut(t, rg, regCSV(6), "c")
+	if _, err := rg.Get(a.ID); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("released entry a should be the victim, got %v", err)
+	}
+	if _, err := rg.Get(b.ID); err != nil {
+		t.Fatalf("pinned entry b must survive: %v", err)
+	}
+	if _, err := rg.Get(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	releaseB()
+}
+
+func TestRegistryDeleteBusy(t *testing.T) {
+	rg := NewRegistry(4, 0, 0)
+	a := mustPut(t, rg, regCSV(2), "a")
+	_, release, err := rg.Acquire(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Delete(a.ID); !errors.Is(err, ErrDatasetBusy) {
+		t.Fatalf("busy delete err = %v", err)
+	}
+	release()
+	if err := rg.Delete(a.ID); err != nil {
+		t.Fatalf("delete after release: %v", err)
+	}
+	if err := rg.Delete(a.ID); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestRegistryPutDataset(t *testing.T) {
+	rg := NewRegistry(4, 0, 0)
+	d := synth.CompasN(100, 1)
+	a, err := rg.PutDataset(d, "derived")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rg.PutDataset(d, "derived-again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID || rg.Len() != 1 {
+		t.Fatalf("identical derived datasets must dedup: %s / %s (%d entries)", a.ID, b.ID, rg.Len())
+	}
+	if a.Bytes != 0 {
+		t.Fatalf("server-side dataset reports %d upload bytes, want 0", a.Bytes)
+	}
+	detail, err := rg.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Summary) != len(d.Schema.Attrs) {
+		t.Fatalf("profile has %d attrs, want %d", len(detail.Summary), len(d.Schema.Attrs))
+	}
+}

@@ -1,0 +1,130 @@
+// Package serve turns the one-shot pipeline (identify → remedy →
+// train → audit) into a long-running fairness-repair service — the
+// auditing-as-a-service deployment shape: clients register datasets
+// once and submit repeated audit/repair jobs against them as models
+// and data evolve.
+//
+// The server is three pieces on the Go standard library:
+//
+//   - a dataset Registry: CSV uploads are streamed through
+//     dataset.ReadCSVLimit (size-capped, never buffered whole), keyed
+//     by content hash (idempotent re-upload), profiled once
+//     (cached Describe summaries), and evicted LRU — but never while
+//     a job holds a reference;
+//
+//   - an async job engine: a bounded worker pool drains a bounded
+//     queue of identify/remedy/train/audit jobs. Submission never
+//     blocks — a full queue is an immediate 429 — and every job runs
+//     under its own context deadline, span tree, and private metrics
+//     registry, so GET /jobs/{id} reports live partial-progress
+//     counters and DELETE /jobs/{id} cancels with bounded latency via
+//     the pipeline's cooperative checkpoints;
+//
+//   - HTTP handlers binding the two together, plus /healthz and a
+//     /metrics endpoint serving the server-level obs registry.
+//
+// Jobs honor the internal/faults hooks (the engine fires
+// faults.ServeJob as each job starts, and the pipeline's own points
+// fire inside jobs), so the robustness suite extends to the server:
+// injected failures surface as failed jobs with error detail, never
+// as wedged workers. Shutdown drains running jobs within a deadline
+// and marks everything else cancelled.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config sizes the server. Zero values take the documented defaults.
+type Config struct {
+	// MaxDatasets caps the registry (default 16 resident datasets).
+	MaxDatasets int
+	// MaxUploadRows / MaxUploadBytes cap one CSV upload (defaults
+	// 2,000,000 rows and 256 MiB; negative = unlimited).
+	MaxUploadRows  int
+	MaxUploadBytes int64
+	// Workers is the job pool size (default 4) and QueueDepth the
+	// bounded queue length behind it (default 16).
+	Workers    int
+	QueueDepth int
+	// JobTimeout is the default per-job deadline (default 5m);
+	// MaxJobTimeout clamps request-supplied deadlines (default
+	// JobTimeout). Zero JobTimeout with zero MaxJobTimeout means jobs
+	// run without a deadline.
+	JobTimeout    time.Duration
+	MaxJobTimeout time.Duration
+	// Logger and Metrics are the server-level observability handles;
+	// nil means a silent logger and a fresh registry.
+	Logger  *obs.Logger
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDatasets == 0 {
+		c.MaxDatasets = 16
+	}
+	if c.MaxUploadRows == 0 {
+		c.MaxUploadRows = 2_000_000
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxJobTimeout == 0 {
+		c.MaxJobTimeout = c.JobTimeout
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the remedyd application: registry + engine + handlers.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	engine   *engine
+	metrics  *obs.Registry
+	logger   *obs.Logger
+}
+
+// New builds a server and starts its worker pool. Callers mount
+// Handler on an http.Server and call Shutdown when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatasets, cfg.MaxUploadRows, cfg.MaxUploadBytes),
+		metrics:  cfg.Metrics,
+		logger:   cfg.Logger,
+	}
+	s.engine = newEngine(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobTimeout,
+		func(ctx context.Context, j *job) (any, error) { return s.runJob(ctx, j) },
+		s.metrics, s.logger)
+	return s
+}
+
+// Registry exposes the dataset registry (tests and embedding callers).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Metrics exposes the server-level registry backing /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Shutdown stops job intake, cancels queued jobs, and drains running
+// ones until ctx expires; stragglers are then hard-cancelled and
+// marked cancelled once they unwind. It returns ctx.Err() if the
+// drain deadline was hit, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.engine.Shutdown(ctx)
+}

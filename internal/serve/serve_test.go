@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// newTestServer builds a server, mounts it on httptest, and tears
+// both down (shutdown first, so workers are joined) at cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+	})
+	return srv, NewClient(hs.URL)
+}
+
+// uploadCompas registers a synthetic COMPAS dataset of n rows.
+func uploadCompas(t *testing.T, c *Client, n int, seed int64) DatasetInfo {
+	t.Helper()
+	d := synth.CompasN(n, seed)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(context.Background(), &buf, "compas-test",
+		"two_year_recid", []string{"age", "race", "sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to drop back to
+// (roughly) the baseline captured before the test body ran.
+func assertNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestE2EIdentifyRemedy is the serving acceptance path: upload a
+// dataset, run an identify job to completion, fetch the JSON result,
+// chain a remedy job, and train on the remedied output — all over
+// HTTP.
+func TestE2EIdentifyRemedy(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	info := uploadCompas(t, c, 2000, 5)
+	if info.Rows != 2000 || len(info.Protected) != 3 {
+		t.Fatalf("upload info = %+v", info)
+	}
+
+	// Upload is idempotent: same bytes, same ID.
+	info2 := uploadCompas(t, c, 2000, 5)
+	if info2.ID != info.ID {
+		t.Fatalf("re-upload got %s, want %s", info2.ID, info.ID)
+	}
+
+	// The cached profile is served with the dataset.
+	detail, err := c.Dataset(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Summary) != 6 {
+		t.Fatalf("summary has %d attrs, want 6", len(detail.Summary))
+	}
+
+	// Identify.
+	st, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID, TauC: 0.1, MinSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("initial state = %s", st.State)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("identify job %s: %s (%s)", st.ID, st.State, st.Error)
+	}
+	if st.Progress["identify.nodes_visited"] == 0 {
+		t.Fatalf("progress counters missing: %v", st.Progress)
+	}
+	var ident IdentifyResult
+	if err := c.Result(ctx, st.ID, &ident); err != nil {
+		t.Fatal(err)
+	}
+	if len(ident.Regions) == 0 {
+		t.Fatal("identify found no biased regions on the biased generator")
+	}
+	if ident.Regions[0].Pattern == "" || ident.Regions[0].Gap <= 0 {
+		t.Fatalf("malformed region: %+v", ident.Regions[0])
+	}
+
+	// Remedy; the result dataset must be registered and usable.
+	st, err = c.SubmitJob(ctx, JobRequest{Kind: "remedy", DatasetID: info.ID, TauC: 0.1, MinSize: 20, Technique: "PS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("remedy job: %s (%s)", st.State, st.Error)
+	}
+	var rem RemedyResult
+	if err := c.Result(ctx, st.ID, &rem); err != nil {
+		t.Fatal(err)
+	}
+	if rem.BiasedRegions == 0 || rem.ResultDatasetID == "" {
+		t.Fatalf("remedy result = %+v", rem)
+	}
+	if _, err := c.Dataset(ctx, rem.ResultDatasetID); err != nil {
+		t.Fatalf("remedied dataset not registered: %v", err)
+	}
+
+	// Train on the remedied dataset.
+	st, err = c.SubmitJob(ctx, JobRequest{Kind: "train", DatasetID: rem.ResultDatasetID, Model: "DT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("train job: %s (%s)", st.State, st.Error)
+	}
+	var tr TrainResult
+	if err := c.Result(ctx, st.ID, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Accuracy <= 0.5 {
+		t.Fatalf("train accuracy = %v", tr.Accuracy)
+	}
+
+	// Audit the original dataset.
+	st, err = c.SubmitJob(ctx, JobRequest{Kind: "audit", DatasetID: info.ID, Model: "DT", Stat: "FPR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("audit job: %s (%s)", st.State, st.Error)
+	}
+	var aud AuditResult
+	if err := c.Result(ctx, st.ID, &aud); err != nil {
+		t.Fatal(err)
+	}
+	if len(aud.Subgroups) == 0 || aud.Stat != "FPR" {
+		t.Fatalf("audit result = %+v", aud)
+	}
+
+	// Health and metrics reflect the work done.
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	if h.Datasets < 2 {
+		t.Fatalf("health datasets = %d, want >= 2", h.Datasets)
+	}
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"serve.jobs_submitted", "serve.jobs_done", "serve.http_requests"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{Workers: 1})
+
+	// Missing target.
+	_, err := c.UploadDataset(ctx, strings.NewReader("a,b\n1,0\n"), "", "", []string{"a"})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("missing target: %v", err)
+	}
+
+	// Over the row cap: 413.
+	_, c413 := newTestServer(t, Config{Workers: 1, MaxUploadRows: 10})
+	d := synth.CompasN(50, 1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c413.UploadDataset(ctx, &buf, "", "two_year_recid", []string{"race"})
+	if !errors.As(err, &ae) || ae.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("row cap: %v", err)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{Workers: 1})
+	info := uploadCompas(t, c, 200, 1)
+
+	bad := []JobRequest{
+		{Kind: "explode", DatasetID: info.ID},
+		{Kind: "identify", DatasetID: ""},
+		{Kind: "identify", DatasetID: info.ID, TauC: -1},
+		{Kind: "identify", DatasetID: info.ID, Scope: "sideways"},
+		{Kind: "remedy", DatasetID: info.ID, Technique: "XX"},
+		{Kind: "train", DatasetID: info.ID, Model: "GPT"},
+		{Kind: "audit", DatasetID: info.ID, Stat: "vibes"},
+		{Kind: "identify", DatasetID: info.ID, Workers: -1},
+		{Kind: "identify", DatasetID: info.ID, TimeoutMS: -5},
+	}
+	for _, req := range bad {
+		_, err := c.SubmitJob(ctx, req)
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+			t.Fatalf("request %+v: err = %v, want 400", req, err)
+		}
+	}
+
+	// Unknown dataset is 404.
+	_, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: "ds-nope"})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+
+	// Result of an unfinished job is 409.
+	st, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Result(ctx, st.ID, &IdentifyResult{})
+	if err != nil {
+		if !errors.As(err, &ae) || ae.Status != http.StatusConflict {
+			t.Fatalf("early result fetch: %v", err)
+		}
+	} // else the tiny job already finished — equally fine.
+}
+
+// TestClientAgainstServer exercises the rest of the Client surface
+// (List via raw HTTP, Cancel on a terminal job, trace endpoint).
+func TestClientAgainstServer(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{Workers: 1})
+	info := uploadCompas(t, c, 300, 2)
+
+	st, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("wait: %+v, %v", st, err)
+	}
+
+	// Cancelling a finished job is a no-op, not an error.
+	st2, err := c.Cancel(ctx, st.ID)
+	if err != nil || st2.State != StateDone {
+		t.Fatalf("cancel terminal: %+v, %v", st2, err)
+	}
+
+	// The span tree is served per job.
+	resp, err := http.Get(c.BaseURL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serve.job") {
+		t.Fatalf("trace missing root span: %s", buf.String())
+	}
+
+	// Unknown job IDs 404 everywhere.
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("unknown job must 404")
+	}
+
+	// DELETE /datasets works once no job holds it... identify job is
+	// done so the ref is back.
+	req, _ := http.NewRequest(http.MethodDelete, c.BaseURL+"/datasets/"+info.ID, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("dataset delete = %d", resp2.StatusCode)
+	}
+	if _, err := c.Dataset(ctx, info.ID); err == nil {
+		t.Fatal("deleted dataset must be gone")
+	}
+}
+
+// TestUploadStreamCap verifies the byte cap is enforced on the stream
+// (the server never buffers an over-budget body whole).
+func TestUploadStreamCap(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{Workers: 1, MaxUploadBytes: 1024})
+	d := synth.CompasN(2000, 1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.UploadDataset(ctx, &buf, "", "two_year_recid", []string{"race"})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("byte cap: %v", err)
+	}
+	if !strings.Contains(ae.Msg, dataset.ErrTooLarge.Error()) {
+		t.Fatalf("error detail %q does not name the limit", ae.Msg)
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import "time"
+
+// This file defines the HTTP wire types. They are shared verbatim by
+// the server handlers and the Client (used by remedyctl -serve-url),
+// so the two sides cannot drift apart.
+
+// DatasetInfo is the registry's public view of one dataset.
+type DatasetInfo struct {
+	// ID is derived from the content hash of the CSV bytes plus the
+	// target/protected configuration, so re-uploading the same data is
+	// idempotent and returns the existing entry.
+	ID        string   `json:"id"`
+	Name      string   `json:"name,omitempty"`
+	Target    string   `json:"target"`
+	Protected []string `json:"protected"`
+	Rows      int      `json:"rows"`
+	Attrs     int      `json:"attrs"`
+	Positives int      `json:"positives"`
+	BaseRate  float64  `json:"base_rate"`
+	// Bytes counts the CSV bytes consumed at upload (0 for datasets
+	// produced server-side, e.g. a remedy job's output).
+	Bytes int64 `json:"bytes"`
+	// Refs is the number of live job references pinning the dataset
+	// against eviction.
+	Refs int `json:"refs"`
+}
+
+// AttrProfile is the cached Describe summary of one attribute.
+type AttrProfile struct {
+	Name      string    `json:"name"`
+	Protected bool      `json:"protected"`
+	Ordered   bool      `json:"ordered"`
+	Values    []string  `json:"values"`
+	Counts    []int     `json:"counts"`
+	PosRate   []float64 `json:"pos_rate"`
+}
+
+// DatasetDetail is DatasetInfo plus the per-attribute profile,
+// returned by GET /datasets/{id}.
+type DatasetDetail struct {
+	DatasetInfo
+	Summary []AttrProfile `json:"summary"`
+}
+
+// State is a job's lifecycle state. The machine is:
+//
+//	queued ──▶ running ──▶ done
+//	   │          ├──────▶ failed
+//	   └──────────┴──────▶ cancelled
+//
+// queued → cancelled happens via DELETE /jobs/{id} before a worker
+// picks the job up (or at shutdown); running → cancelled when the
+// job's context is cancelled by DELETE or shutdown; running → failed
+// covers pipeline errors, injected faults, worker panics, and the
+// per-job deadline. Terminal states (done/failed/cancelled) never
+// transition again.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the body of POST /jobs. Kind selects the pipeline
+// stage; the remaining fields parameterize it and are validated
+// against the library's sentinels (core.Config.validate via the
+// identify entry point, remedy.ParseTechnique, ml.ErrUnknownModel,
+// fairness.ErrUnknownStatistic) before the job is queued.
+type JobRequest struct {
+	// Kind is identify | remedy | train | audit.
+	Kind string `json:"kind"`
+	// DatasetID names a registered dataset.
+	DatasetID string `json:"dataset_id"`
+
+	// Identification parameters (identify, remedy, and the remedy half
+	// of audit). Zero values take the paper's defaults: τ_c=0.1, T=1,
+	// k=30, scope=lattice.
+	TauC    float64 `json:"tau_c,omitempty"`
+	T       int     `json:"t,omitempty"`
+	MinSize int     `json:"min_size,omitempty"`
+	Scope   string  `json:"scope,omitempty"`
+	// Workers > 1 runs the identification's parallel fan-out with that
+	// many goroutines (identical results, more CPU).
+	Workers int `json:"workers,omitempty"`
+
+	// Technique is the remedy sampler: PS | US | DP | MS (default PS).
+	Technique string `json:"technique,omitempty"`
+
+	// Model (DT | RF | LG | NN, default DT) and Stat (FPR, FNR, …,
+	// default FPR) drive train and audit jobs. MinSupport bounds the
+	// audited subgroups (default 0.01).
+	Model      string  `json:"model,omitempty"`
+	Stat       string  `json:"stat,omitempty"`
+	MinSupport float64 `json:"min_support,omitempty"`
+
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS overrides the server's default per-job deadline; it is
+	// clamped to the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is the engine's public view of one job, returned by POST
+// /jobs, GET /jobs, GET /jobs/{id}, and DELETE /jobs/{id}.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	DatasetID string `json:"dataset_id"`
+	State     State  `json:"state"`
+	// Error carries the failure detail for failed jobs and the
+	// cancellation cause for cancelled ones.
+	Error string `json:"error,omitempty"`
+	// Progress is a snapshot of the job's private metrics registry —
+	// the pipeline's live counters (identify.nodes_visited,
+	// remedy.samples_added, ml.epochs, …), readable mid-run and, for a
+	// job that failed partway, a faithful partial-progress report per
+	// the library's partial-result contract.
+	Progress map[string]int64 `json:"progress,omitempty"`
+
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// RegionJSON is one IBS member in an IdentifyResult.
+type RegionJSON struct {
+	Pattern       string  `json:"pattern"`
+	N             int     `json:"n"`
+	Pos           int     `json:"pos"`
+	Neg           int     `json:"neg"`
+	Ratio         float64 `json:"ratio"`
+	NeighborRatio float64 `json:"neighbor_ratio"`
+	Gap           float64 `json:"gap"`
+}
+
+// IdentifyResult is the result payload of an identify job.
+type IdentifyResult struct {
+	TauC     float64      `json:"tau_c"`
+	T        int          `json:"t"`
+	MinSize  int          `json:"min_size"`
+	Scope    string       `json:"scope"`
+	Explored int          `json:"explored"`
+	Pruned   int          `json:"pruned"`
+	Regions  []RegionJSON `json:"regions"`
+}
+
+// ActionJSON records the remedy applied to one region.
+type ActionJSON struct {
+	Pattern string `json:"pattern"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Flipped int    `json:"flipped"`
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// RemedyResult is the result payload of a remedy job. The remedied
+// dataset is registered back into the registry under ResultDatasetID,
+// so a follow-up train or audit job can run on it without re-upload.
+type RemedyResult struct {
+	Technique       string       `json:"technique"`
+	TechniqueName   string       `json:"technique_name"`
+	BiasedRegions   int          `json:"biased_regions"`
+	Added           int          `json:"added"`
+	Removed         int          `json:"removed"`
+	Flipped         int          `json:"flipped"`
+	RowsBefore      int          `json:"rows_before"`
+	RowsAfter       int          `json:"rows_after"`
+	ResultDatasetID string       `json:"result_dataset_id"`
+	Actions         []ActionJSON `json:"actions"`
+}
+
+// TrainResult is the result payload of a train job: the model is
+// trained on a stratified 70% split and scored on the held-out 30%.
+type TrainResult struct {
+	Model     string  `json:"model"`
+	TrainRows int     `json:"train_rows"`
+	TestRows  int     `json:"test_rows"`
+	Accuracy  float64 `json:"accuracy"`
+	IndexFPR  float64 `json:"index_fpr"`
+	IndexFNR  float64 `json:"index_fnr"`
+	Violation float64 `json:"violation"`
+}
+
+// SubgroupJSON is one audited subgroup in an AuditResult.
+type SubgroupJSON struct {
+	Pattern     string  `json:"pattern"`
+	N           int     `json:"n"`
+	Support     float64 `json:"support"`
+	Value       float64 `json:"value"`
+	Divergence  float64 `json:"divergence"`
+	Significant bool    `json:"significant"`
+}
+
+// AuditResult is the result payload of an audit job: a DivExplorer
+// sweep over the held-out split of a model trained on the dataset.
+type AuditResult struct {
+	Model     string         `json:"model"`
+	Stat      string         `json:"stat"`
+	Overall   float64        `json:"overall"`
+	TrainRows int            `json:"train_rows"`
+	TestRows  int            `json:"test_rows"`
+	Accuracy  float64        `json:"accuracy"`
+	Subgroups []SubgroupJSON `json:"subgroups"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+}
+
+// errorBody is the uniform error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -29,6 +29,12 @@ echo "== obs: vet + race (make obs-check)"
 go vet ./internal/obs/...
 go test -race ./internal/obs/...
 
+echo "== serve: vet + race + e2e smoke (make serve-check)"
+go vet ./internal/serve/... ./cmd/remedyd/...
+go test -race ./internal/serve/... ./cmd/remedyd/...
+go test -race -run 'TestE2EIdentifyRemedy|TestServeEndToEnd' -count=1 \
+    ./internal/serve/ ./cmd/remedyd/
+
 echo "== go test -race ./..."
 go test -race ./...
 
