@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check panicgate obs-check serve-check fuzz
+.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check fuzz
 
 all: check
 
@@ -16,15 +16,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# panicgate fails if any panic() call appears in non-test library code.
-# The library's error contract is sentinel errors and context
-# cancellation; panics are reserved for tests.
+# lint runs the full remedylint suite (see cmd/remedylint): the
+# machine-checked form of the repo's correctness contracts. New
+# findings fail; grandfathered ones live in .remedylint-baseline.json
+# and sanctioned exceptions carry //lint:allow comments.
+lint:
+	$(GO) run ./cmd/remedylint ./...
+
+# panicgate is the narrow no-panic gate (a remedylint subset kept as
+# its own target for habit and for fast pre-commit runs). The library's
+# error contract is sentinel errors and context cancellation; panics
+# are reserved for tests.
 panicgate:
-	@bad=$$(grep -rn "panic(" --include="*.go" internal/ cmd/ examples/ | grep -v "_test.go" || true); \
-	if [ -n "$$bad" ]; then \
-		echo "panic() in non-test code:"; echo "$$bad"; exit 1; \
-	fi; \
-	echo "panicgate: ok"
+	$(GO) run ./cmd/remedylint -analyzers panicgate ./...
+
+# baseline regenerates .remedylint-baseline.json from current findings.
+# Only for deliberately grandfathering new debt; prefer fixing or
+# //lint:allow-ing findings instead.
+baseline:
+	$(GO) run ./cmd/remedylint -write-baseline ./...
+
+# lint-report refreshes the committed machine-readable report, the
+# artifact format downstream tooling consumes.
+lint-report:
+	$(GO) run ./cmd/remedylint -json ./... > remedylint-report.json
 
 # obs-check vets and race-tests the observability layer in isolation:
 # its lock-free counters and span bookkeeping are the code most likely
@@ -45,5 +60,5 @@ serve-check:
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 
-check: build vet panicgate obs-check serve-check race
+check: build vet lint obs-check serve-check race
 	@echo "all checks passed"

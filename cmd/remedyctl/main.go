@@ -55,7 +55,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
+	_ "net/http/pprof" //lint:allow panicgate sanctioned: registers /debug/pprof for the opt-in -pprof server
 	"os"
 	"os/signal"
 	"strings"

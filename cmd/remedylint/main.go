@@ -1,0 +1,125 @@
+// Command remedylint is the repository's static-analysis gate: it
+// machine-checks the correctness contracts the reproduction's
+// auditability rests on (panic-free libraries, seeded-RNG-only
+// randomness, context-first cancellation, checked errors, balanced
+// observability spans) using the stdlib-only framework in
+// internal/analysis.
+//
+// Usage:
+//
+//	remedylint [flags] [packages]
+//
+// Packages are directories or recursive patterns ("./...", the
+// default). Flags:
+//
+//	-analyzers all|name,name   subset of the suite to run
+//	-json                      emit the versioned JSON report
+//	-baseline file             baseline of grandfathered findings,
+//	                           relative to the module root
+//	                           (default .remedylint-baseline.json)
+//	-write-baseline            regenerate the baseline from current
+//	                           findings instead of failing on them
+//	-list                      print the suite with docs and exit
+//
+// Exit status: 0 when no new findings, 1 when findings survive the
+// baseline and //lint:allow suppressions, 2 on operational errors
+// (bad flags, unloadable packages, type-check failures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("remedylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		analyzerSpec  = fs.String("analyzers", "all", "comma-separated analyzers to run, or \"all\"")
+		jsonOut       = fs.Bool("json", false, "emit the versioned JSON report instead of text")
+		baselinePath  = fs.String("baseline", ".remedylint-baseline.json", "baseline file of grandfathered findings (relative to the module root)")
+		writeBaseline = fs.Bool("write-baseline", false, "regenerate the baseline from current findings and exit")
+		list          = fs.Bool("list", false, "list the analyzer suite and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	selected, err := analyzers.Select(*analyzerSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "remedylint:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range selected {
+			fmt.Fprintf(stdout, "%s\n    %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "remedylint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "remedylint:", err)
+		return 2
+	}
+
+	bpath := *baselinePath
+	if !filepath.IsAbs(bpath) {
+		bpath = filepath.Join(loader.ModuleDir, bpath)
+	}
+	baseline, err := analysis.ReadBaseline(bpath)
+	if err != nil {
+		fmt.Fprintln(stderr, "remedylint:", err)
+		return 2
+	}
+
+	res := analysis.Run(pkgs, selected, baseline, loader.ModuleDir)
+
+	if *writeBaseline {
+		if err := analysis.NewBaseline(res.Findings).WriteFile(bpath); err != nil {
+			fmt.Fprintln(stderr, "remedylint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "remedylint: wrote %d finding(s) to %s\n", len(res.Findings), bpath)
+		return 0
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, res); err != nil {
+			fmt.Fprintln(stderr, "remedylint:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(stdout, res); err != nil {
+		fmt.Fprintln(stderr, "remedylint:", err)
+		return 2
+	}
+
+	// A tree that does not type-check cannot be trusted to be clean.
+	if len(res.TypeErrors) > 0 {
+		return 2
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// chdir switches the working directory for one test and restores it on
+// cleanup. (testing.T.Chdir needs a newer Go than go.mod declares.)
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Errorf("restoring working directory: %v", err)
+		}
+	})
+}
+
+// scratchModule lays out a throwaway module and chdirs into it.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chdir(t, dir)
+	return dir
+}
+
+const violations = `package lib
+
+func helper() error { return nil }
+
+func boom() {
+	panic("boom")
+}
+
+func drop() {
+	_ = helper()
+}
+`
+
+func TestViolationsFailWithPositions(t *testing.T) {
+	scratchModule(t, map[string]string{"internal/lib/lib.go": violations})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Version  int                `json:"version"`
+		Findings []analysis.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	want := []struct {
+		analyzer string
+		line     int
+	}{
+		{"panicgate", 6},
+		{"errdiscard", 10},
+	}
+	if rep.Version != 1 || len(rep.Findings) != len(want) {
+		t.Fatalf("report = %+v, want version 1 with %d findings", rep, len(want))
+	}
+	for i, w := range want {
+		f := rep.Findings[i]
+		if f.Analyzer != w.analyzer || f.File != "internal/lib/lib.go" || f.Line != w.line {
+			t.Errorf("finding %d = %s, want %s at internal/lib/lib.go:%d", i, f, w.analyzer, w.line)
+		}
+	}
+}
+
+func TestAnalyzersFlagNarrowsTheRun(t *testing.T) {
+	scratchModule(t, map[string]string{"internal/lib/lib.go": violations})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "panicgate", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "errdiscard") {
+		t.Errorf("-analyzers panicgate must not run errdiscard:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "panic call in non-test code") {
+		t.Errorf("panicgate finding missing:\n%s", out.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want the available-analyzer hint", errb.String())
+	}
+}
+
+func TestListPrintsTheSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxfirst", "determinism", "errdiscard", "obspair", "panicgate"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestAllowSuppressesInline(t *testing.T) {
+	scratchModule(t, map[string]string{"internal/lib/lib.go": `package lib
+
+func sanctioned() {
+	panic("unreachable by construction") //lint:allow panicgate scratch fixture
+}
+`})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "panicgate", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "1 suppressed") {
+		t.Errorf("summary should count the suppression:\n%s", out.String())
+	}
+}
+
+func TestWriteBaselineGrandfathersOnlyCurrentDebt(t *testing.T) {
+	dir := scratchModule(t, map[string]string{"internal/lib/lib.go": violations})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".remedylint-baseline.json")); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	// The grandfathered tree is green...
+	out.Reset()
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("baselined tree exit = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "2 baselined") {
+		t.Errorf("summary should count baselined findings:\n%s", out.String())
+	}
+
+	// ...but new debt still fails, with the new position reported.
+	newFile := filepath.Join(dir, "internal", "lib", "fresh.go")
+	if err := os.WriteFile(newFile, []byte("package lib\n\nimport \"math/rand\"\n\nfunc roll() int { return rand.Intn(6) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("fresh violation exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "internal/lib/fresh.go:3") {
+		t.Errorf("fresh finding position missing:\n%s", out.String())
+	}
+}
+
+// TestSelfCheck is the acceptance gate: remedylint, run over this
+// repository with the full suite and the committed baseline, reports
+// nothing. Keeping the tree clean is part of every change; fix or
+// waive findings rather than relaxing this test.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository from source")
+	}
+	chdir(t, filepath.Join("..", ".."))
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("remedylint over the repository exited %d, want 0:\n%s%s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "warning") && !strings.Contains(out.String(), "0 warning(s)") {
+		t.Errorf("self-check must be warning-free:\n%s", out.String())
+	}
+}

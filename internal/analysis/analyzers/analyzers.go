@@ -1,0 +1,72 @@
+// Package analyzers holds the remedylint analyzer suite: the
+// machine-checked form of this repository's correctness contracts.
+// Each analyzer is a small, self-contained check over one type-checked
+// package; the framework in internal/analysis handles loading,
+// //lint:allow suppression, baselines, and reporting.
+package analyzers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full suite in stable name order.
+func All() []*analysis.Analyzer {
+	suite := []*analysis.Analyzer{
+		CtxFirst,
+		Determinism,
+		ErrDiscard,
+		ObsPair,
+		PanicGate,
+	}
+	sort.Slice(suite, func(i, j int) bool { return suite[i].Name < suite[j].Name })
+	return suite
+}
+
+// Select resolves a comma-separated analyzer list ("panicgate,ctxfirst"
+// or "all") against the suite.
+func Select(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" || spec == "all" {
+		return All(), nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	var names []string
+	for _, a := range All() {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (available: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// isUnder reports whether the consecutive path elements elems appear
+// somewhere in the slash-separated import path. isUnder("repro/internal/stats",
+// "internal", "stats") is true; matching is element-bounded, so
+// "internal/statsx" does not match ("internal", "stats").
+func isUnder(path string, elems ...string) bool {
+	parts := strings.Split(path, "/")
+	if len(elems) == 0 || len(elems) > len(parts) {
+		return false
+	}
+outer:
+	for i := 0; i+len(elems) <= len(parts); i++ {
+		for j, e := range elems {
+			if parts[i+j] != e {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CtxFirst enforces the context-threading contract from the
+// cancellation PR: cancellation flows through explicit
+// context.Context parameters, always in first position (the `*Ctx`
+// naming convention marks the cancellable variants), and never hides
+// in struct fields where its lifetime detaches from the call tree.
+// Three rules:
+//
+//   - any function, method, or interface method with a context.Context
+//     parameter takes it first;
+//   - an exported function or method named `...Ctx` must actually take
+//     a context.Context (first);
+//   - no struct field may have type context.Context.
+var CtxFirst = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters come first, exported *Ctx functions take " +
+		"one, and contexts are never stored in struct fields",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Name.Name, n.Type, n.Name.IsExported())
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok || len(m.Names) == 0 {
+						continue
+					}
+					checkSignature(pass, m.Names[0].Name, ft, m.Names[0].IsExported())
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextType(typeOf(pass, field.Type)) {
+						pass.Report(field.Pos(),
+							"context.Context stored in a struct field detaches cancellation from the call tree; thread it through parameters instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typeOf is a tiny convenience over TypesInfo.
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Pkg.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func checkSignature(pass *analysis.Pass, name string, ft *ast.FuncType, exported bool) {
+	idx := 0
+	ctxIdx := -1
+	var ctxField *ast.Field
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if ctxIdx < 0 && isContextType(typeOf(pass, field.Type)) {
+				ctxIdx = idx
+				ctxField = field
+			}
+			idx += n
+		}
+	}
+	if ctxIdx > 0 {
+		pass.Report(ctxField.Pos(),
+			"context.Context must be the first parameter of %s (found at position %d)", name, ctxIdx+1)
+	}
+	if exported && strings.HasSuffix(name, "Ctx") && ctxIdx != 0 {
+		pass.Report(ft.Pos(),
+			"exported %s is named *Ctx but does not take context.Context as its first parameter", name)
+	}
+}
+
+// isContextType reports whether t is exactly the named type
+// context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

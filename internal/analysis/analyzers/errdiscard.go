@@ -1,0 +1,148 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ErrDiscard enforces the checked-error half of the failure contract:
+// library code neither discards error returns with a blank identifier
+// nor drops them on the floor as bare call statements. Two shapes are
+// flagged in internal/ packages:
+//
+//   - `_ = f()` / `v, _ := f()` where the blank slot holds an error;
+//   - `f()`, `defer f()`, `go f()` where f returns an error nobody
+//     reads.
+//
+// Writes that cannot meaningfully fail are exempt, since forcing
+// checks there produces ritual, not safety: methods on *bytes.Buffer
+// and *strings.Builder and writes to hash.Hash are documented to never
+// return an error, and *tabwriter.Writer buffers everything until the
+// (checked) Flush. fmt.Fprint* into any of these is likewise exempt.
+// Intentional discards (best-effort writes to an already-doomed HTTP
+// client, say) carry //lint:allow errdiscard with a justification.
+var ErrDiscard = &analysis.Analyzer{
+	Name: "errdiscard",
+	Doc: "forbids `_ =` discards of error returns and unchecked error results " +
+		"in library code; best-effort sites waive with //lint:allow",
+	AppliesTo: func(path string) bool { return isUnder(path, "internal") },
+	Run:       runErrDiscard,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrDiscard(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "goroutine ")
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags blank identifiers absorbing error values.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			t = typeOf(pass, as.Rhs[i])
+		case len(as.Rhs) == 1:
+			// Multi-value call (or comma-ok, whose second component is
+			// bool, not error, and so never flags).
+			if tuple, ok := typeOf(pass, as.Rhs[0]).(*types.Tuple); ok && i < tuple.Len() {
+				t = tuple.At(i).Type()
+			}
+		}
+		if t != nil && types.Identical(t, errorType) && !isExemptCall(pass, as.Rhs[min(i, len(as.Rhs)-1)]) {
+			pass.Report(id.Pos(), "error result discarded via blank identifier; handle it or waive with //lint:allow errdiscard")
+		}
+	}
+}
+
+// checkDroppedCall flags statement-position calls whose error results
+// vanish.
+func checkDroppedCall(pass *analysis.Pass, e ast.Expr, kind string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !resultsContainError(pass, call) || isExemptCall(pass, call) {
+		return
+	}
+	pass.Report(call.Pos(), "unchecked error result from %scall to %s", kind, types.ExprString(call.Fun))
+}
+
+func resultsContainError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch t := typeOf(pass, call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+	case types.Type:
+		return types.Identical(t, errorType)
+	}
+	return false
+}
+
+// isExemptCall recognizes the never-fails writers: methods on
+// *bytes.Buffer / *strings.Builder / *tabwriter.Writer / hash.Hash,
+// and fmt.Fprint* whose destination is one of those.
+func isExemptCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s := pass.Pkg.TypesInfo.Selections[sel]; s != nil {
+		return isInfallibleWriter(s.Recv())
+	}
+	// Package-qualified call: fmt.Fprint* into an infallible writer.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 {
+					return isInfallibleWriter(typeOf(pass, call.Args[0]))
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	case "hash.Hash": // Write is documented to never return an error
+		return true
+	case "text/tabwriter.Writer": // buffers until the (checked) Flush
+		return true
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// PanicGate is the AST-aware replacement for the old `grep "panic("`
+// CI gate. The library's failure contract is sentinel errors plus
+// context cancellation: a panic that escapes a worker tears down a
+// whole serving process, so panics are reserved for tests. Because the
+// check resolves the `panic` identifier through go/types it is immune
+// to the grep gate's false positives (comments, string literals,
+// methods named Panic) and false negatives (spacing, aliasing).
+//
+// The gate also covers the other "crash a prod process from a distance"
+// hazard the grep version special-cased: importing net/http/pprof,
+// which silently registers debug handlers on http.DefaultServeMux.
+// Sanctioned sites (remedyctl's opt-in -pprof server) carry a
+// //lint:allow panicgate directive instead of a grep exclusion.
+var PanicGate = &analysis.Analyzer{
+	Name: "panicgate",
+	Doc: "forbids panic() calls and net/http/pprof imports in non-test library, " +
+		"command, and example code; the failure contract is sentinel errors and " +
+		"context cancellation",
+	AppliesTo: func(path string) bool {
+		return isUnder(path, "internal") || isUnder(path, "cmd") || isUnder(path, "examples")
+	},
+	Run: runPanicGate,
+}
+
+func runPanicGate(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "net/http/pprof" {
+				pass.Report(imp.Pos(),
+					"import of net/http/pprof registers debug handlers on the default mux; sanctioned sites need //lint:allow panicgate")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Pkg.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Report(call.Pos(),
+					"panic call in non-test code; return a sentinel error (and let workers recover into core.WorkerPanicError)")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Package ctxfirst is a remedylint fixture for the context-threading
+// contract.
+package ctxfirst
+
+import "context"
+
+// A stored context detaches cancellation from the call tree.
+type holder struct {
+	ctx context.Context // want "stored in a struct field"
+	n   int
+}
+
+func first(ctx context.Context, n int) int { return n }
+
+func second(n int, ctx context.Context) int { // want "must be the first parameter"
+	return n
+}
+
+func (h *holder) apply(ctx context.Context, n int) error { return nil }
+
+// RunCtx follows the *Ctx convention correctly.
+func RunCtx(ctx context.Context) {}
+
+// WalkCtx claims cancellability but takes no context.
+func WalkCtx(n int) {} // want "named *Ctx but does not take"
+
+type worker interface {
+	Apply(n int, ctx context.Context) error // want "must be the first parameter"
+	DoCtx(ctx context.Context, n int) error
+}
+
+func waived() {
+	type bag struct {
+		ctx context.Context //lint:allow ctxfirst fixture: demonstrates inline waivers
+	}
+}

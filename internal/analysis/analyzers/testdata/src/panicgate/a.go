@@ -1,0 +1,32 @@
+// Package panicgate is a remedylint fixture: positive and negative
+// cases for the panic/pprof gate. `// want "substr"` comments are the
+// expectations checked by the fixture harness in analyzers_test.go.
+package panicgate
+
+import "errors"
+
+var errNegative = errors.New("negative input")
+
+func explode(x int) error {
+	if x < 0 {
+		panic("negative input") // want "panic call in non-test code"
+	}
+	return errNegative
+}
+
+// Comments mentioning panic( and string literals holding "panic(" are
+// the old grep gate's false positives; the typed gate stays silent.
+func grepFalsePositives() string {
+	return "panic(ignored)"
+}
+
+// A local identifier may shadow the builtin; calls through it are not
+// the builtin panic.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+func waived() {
+	panic("sanctioned here") //lint:allow panicgate fixture: demonstrates inline waivers
+}

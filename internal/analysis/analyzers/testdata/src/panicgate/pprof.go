@@ -1,0 +1,5 @@
+package panicgate
+
+import (
+	_ "net/http/pprof" // want "registers debug handlers on the default mux"
+)

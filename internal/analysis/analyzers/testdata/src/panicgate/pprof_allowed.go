@@ -1,0 +1,4 @@
+package panicgate
+
+//lint:allow panicgate fixture: sanctioned debug import on the next line
+import _ "net/http/pprof"

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies one grandfathered finding. Line numbers are
+// deliberately absent: baselines must survive unrelated edits shifting
+// code up and down, so a finding matches on (analyzer, file, message).
+// Multiple identical findings in one file are matched multiset-style
+// via Count.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to module root
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"` // defaults to 1
+}
+
+// Baseline is the committed inventory of grandfathered findings. The
+// gate fails only on findings not covered here, so the file shrinks
+// monotonically as debt is paid down and never has to grow except by
+// deliberate regeneration.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error, so fresh checkouts and scratch trees work
+// without ceremony.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// matcher returns a consuming matcher over the baseline: each call to
+// match decrements the remaining budget for that key so N baselined
+// findings waive at most N occurrences.
+func (b *Baseline) matcher() func(analyzer, file, message string) bool {
+	budget := make(map[[3]string]int)
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[[3]string{e.Analyzer, e.File, e.Message}] += n
+	}
+	return func(analyzer, file, message string) bool {
+		k := [3]string{analyzer, file, message}
+		if budget[k] > 0 {
+			budget[k]--
+			return true
+		}
+		return false
+	}
+}
+
+// NewBaseline builds a baseline covering the given findings (as
+// rel-file diagnostics), merging duplicates into counts and sorting
+// for a stable committed representation.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[[3]string]int)
+	for _, f := range findings {
+		counts[[3]string{f.Analyzer, f.File, f.Message}]++
+	}
+	b := &Baseline{Version: 1}
+	for k, n := range counts {
+		e := BaselineEntry{Analyzer: k[0], File: k[1], Message: k[2]}
+		if n > 1 {
+			e.Count = n
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is a Diagnostic that survived suppression and baseline
+// filtering, with its file path rewritten relative to the module root
+// (slash-separated) for stable reports and baselines.
+type Finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+}
+
+// String renders the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	// Findings are the live problems: not waived inline, not
+	// grandfathered. A non-empty slice fails the gate.
+	Findings []Finding `json:"findings"`
+	// Warnings are advisory: //lint:allow directives that are
+	// malformed, unjustified, or no longer suppress anything. They do
+	// not fail the gate but are always reported.
+	Warnings []Finding `json:"warnings,omitempty"`
+	// Suppressed and Baselined count the findings waived by
+	// //lint:allow directives and by the baseline file respectively.
+	Suppressed int `json:"suppressed"`
+	Baselined  int `json:"baselined"`
+	// TypeErrors count soft type-check errors across the loaded
+	// packages. Analysis of a tree that does not compile is
+	// best-effort; the driver surfaces the count so CI can insist on
+	// zero.
+	TypeErrors []string `json:"type_errors,omitempty"`
+	// Analyzers lists the analyzer names that ran, sorted.
+	Analyzers []string `json:"analyzers"`
+}
+
+// Run executes the analyzers over the packages, then applies
+// //lint:allow suppression and the baseline. moduleDir anchors the
+// relative paths in the result; pass the Loader's ModuleDir.
+func Run(pkgs []*Package, analyzers []*Analyzer, baseline *Baseline, moduleDir string) *Result {
+	// Findings starts non-nil so the JSON artifact always carries an
+	// explicit array, never null.
+	res := &Result{Findings: []Finding{}}
+	for _, a := range analyzers {
+		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	sort.Strings(res.Analyzers)
+	if baseline == nil {
+		baseline = &Baseline{Version: 1}
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, e.Error())
+		}
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Pkg:      pkg,
+				analyzer: a,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+	}
+
+	allows := collectAllows(pkgs)
+	idx := buildAllowIndex(allows)
+	match := baseline.matcher()
+
+	// Deterministic processing order so multiset baseline matching is
+	// reproducible run-to-run.
+	sort.Slice(raw, func(i, j int) bool { return lessDiag(raw[i], raw[j]) })
+
+	var prev Diagnostic
+	for i, d := range raw {
+		if i > 0 && d == prev {
+			continue // identical duplicate (e.g. nested flagging of one call)
+		}
+		prev = d
+		rel := relFile(moduleDir, d.Pos.Filename)
+		if idx.suppresses(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
+			res.Suppressed++
+			continue
+		}
+		if match(d.Analyzer, rel, d.Message) {
+			res.Baselined++
+			continue
+		}
+		res.Findings = append(res.Findings, Finding{
+			File:     rel,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Severity: d.Severity,
+			Message:  d.Message,
+		})
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, d := range allows {
+		w := Finding{
+			File:     relFile(moduleDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: "lint",
+			Severity: SeverityWarning,
+		}
+		switch {
+		case d.Analyzer == "":
+			w.Message = "malformed //lint:allow: missing analyzer name"
+		case !known[d.Analyzer]:
+			// Directives for analyzers excluded from this run cannot be
+			// judged used or unused; stay silent about them.
+			continue
+		case d.Justification == "":
+			w.Message = fmt.Sprintf("//lint:allow %s has no justification", d.Analyzer)
+		case !d.used:
+			w.Message = fmt.Sprintf("unused //lint:allow %s: nothing to suppress here", d.Analyzer)
+		default:
+			continue
+		}
+		res.Warnings = append(res.Warnings, w)
+	}
+	sort.Slice(res.Warnings, func(i, j int) bool { return lessFinding(res.Warnings[i], res.Warnings[j]) })
+	return res
+}
+
+func lessDiag(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+// relFile rewrites an absolute filename relative to the module root
+// with forward slashes; files outside the module keep their absolute
+// path.
+func relFile(moduleDir, file string) string {
+	if moduleDir == "" {
+		return file
+	}
+	rel, err := filepath.Rel(moduleDir, file)
+	if err != nil || len(rel) >= 2 && rel[:2] == ".." {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// AllowDirective is one parsed //lint:allow comment.
+//
+// Syntax:
+//
+//	//lint:allow <analyzer> <one-line justification>
+//
+// The directive suppresses findings of the named analyzer on the same
+// line (trailing comment) or on the line directly below (preceding
+// comment). The justification is required by convention; a directive
+// without one still suppresses but is surfaced as a warning so empty
+// waivers do not accumulate silently.
+type AllowDirective struct {
+	Pos           token.Position
+	Analyzer      string
+	Justification string
+	// used is set by the driver when the directive suppressed at least
+	// one finding; unused directives are reported as warnings so stale
+	// waivers are cleaned up rather than rotting.
+	used bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows scans every comment of the packages for //lint:allow
+// directives.
+func collectAllows(pkgs []*Package) []*AllowDirective {
+	var out []*AllowDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					d := &AllowDirective{Pos: pkg.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.Analyzer = fields[0]
+						d.Justification = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// allowIndex answers "is this finding waived?" in O(1) per lookup.
+type allowIndex map[string]map[int][]*AllowDirective // file -> line -> directives
+
+func buildAllowIndex(allows []*AllowDirective) allowIndex {
+	idx := make(allowIndex)
+	for _, d := range allows {
+		byLine := idx[d.Pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]*AllowDirective)
+			idx[d.Pos.Filename] = byLine
+		}
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d)
+	}
+	return idx
+}
+
+// suppresses reports whether a directive waives a finding by analyzer
+// name at file:line, checking the finding's own line and the line
+// above. Matching directives are marked used.
+func (idx allowIndex) suppresses(analyzer, file string, line int) bool {
+	byLine := idx[file]
+	if byLine == nil {
+		return false
+	}
+	hit := false
+	for _, candLine := range [2]int{line, line - 1} {
+		for _, d := range byLine[candLine] {
+			if d.Analyzer == analyzer {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}

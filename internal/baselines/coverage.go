@@ -136,7 +136,9 @@ func (c Coverage) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 					label = 1
 				}
 			}
-			out.Append(row, label)
+			if err := out.Append(row, label); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil

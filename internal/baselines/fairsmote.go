@@ -60,7 +60,9 @@ func (f FairSMOTE) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 				seed := cell[rng.Intn(len(cell))]
 				nb := nearestNeighbor(d, cell, seed, k, rng)
 				row := crossover(d.Rows[seed], d.Rows[nb], rng)
-				out.Append(row, d.Labels[seed])
+				if err := out.Append(row, d.Labels[seed]); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

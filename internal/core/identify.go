@@ -52,14 +52,15 @@ const ctxCheckStride = 256
 // cancelled() call polls ctx (so an already-cancelled context aborts
 // before any work, however small the space), then once per stride of
 // calls; after a poll reports cancellation the traversal unwinds and
-// the recorded error propagates.
+// the recorded error propagates. The context is threaded into each
+// cancelled(ctx) call rather than stored, keeping cancellation
+// attached to the call tree (ctxfirst contract).
 type canceler struct {
-	ctx   context.Context
 	count int
 	err   error
 }
 
-func (c *canceler) cancelled() bool {
+func (c *canceler) cancelled(ctx context.Context) bool {
 	if c.err != nil {
 		return true
 	}
@@ -68,7 +69,7 @@ func (c *canceler) cancelled() bool {
 		return false
 	}
 	c.count++
-	c.err = c.ctx.Err()
+	c.err = ctx.Err()
 	return c.err != nil
 }
 
@@ -126,11 +127,11 @@ func (h *Hierarchy) IdentifyNaiveCtx(ctx context.Context, cfg Config) (*Result, 
 	defer finishIdentifySpan(sp, res)
 	defer recordIdentifyMetrics(ctx, res)
 	k := cfg.minSize()
-	c := &canceler{ctx: ctx}
+	c := &canceler{}
 	for _, mask := range h.masksForScope(cfg.Scope) {
 		node := h.Node(mask)
 		h.Space.EnumerateNodeUntil(mask, func(p pattern.Pattern) bool {
-			if c.cancelled() {
+			if c.cancelled(ctx) {
 				return false
 			}
 			rc := node[h.Space.Key(p)]
@@ -219,7 +220,7 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 	res := &Result{Space: h.Space, Config: cfg}
 	defer finishIdentifySpan(sp, res)
 	defer recordIdentifyMetrics(ctx, res)
-	c := &canceler{ctx: ctx}
+	c := &canceler{}
 	levelHist := obs.MetricsFrom(ctx).Histogram("identify.level_ms", obs.DefaultDurationBucketsMS)
 	var (
 		lvlSpan  *obs.Span
@@ -241,9 +242,10 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 			_, lvlSpan = obs.StartSpan(ctx, "core.identify.level")
 			lvlSpan.SetInt("level", int64(lv))
 			curLevel = lv
+			//lint:allow determinism level timing feeds the trace histogram only; pipeline output is unaffected
 			lvlStart = time.Now()
 		}
-		h.scanNodeOptimized(mask, cfg, res, c)
+		h.scanNodeOptimized(ctx, mask, cfg, res, c)
 		if c.err != nil {
 			break
 		}
@@ -319,7 +321,7 @@ dispatch:
 				}
 			}
 			shard := &Result{Space: h.Space, Config: cfg}
-			h.scanNodeOptimized(mask, cfg, shard, &canceler{ctx: wctx})
+			h.scanNodeOptimized(wctx, mask, cfg, shard, &canceler{})
 			ssp.SetInt("regions", int64(len(shard.Regions)))
 			shards[i] = shard
 		}(i, mask)
@@ -352,7 +354,7 @@ dispatch:
 // scanNodeOptimized runs the optimized per-node identification (lines
 // 4-12 of Algorithm 1) for one hierarchy node, appending biased regions
 // to res. The scan aborts early once c reports cancellation.
-func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result, c *canceler) {
+func (h *Hierarchy) scanNodeOptimized(ctx context.Context, mask uint32, cfg Config, res *Result, c *canceler) {
 	node := h.Node(mask)
 	k := cfg.minSize()
 	d := levelOf(mask)
@@ -361,7 +363,7 @@ func (h *Hierarchy) scanNodeOptimized(mask uint32, cfg Config, res *Result, c *c
 		T = d
 	}
 	h.Space.EnumerateNodeUntil(mask, func(p pattern.Pattern) bool {
-		if c.cancelled() {
+		if c.cancelled(ctx) {
 			return false
 		}
 		rc := node[h.Space.Key(p)]
@@ -395,8 +397,8 @@ func (h *Hierarchy) BiasedRegionsInNodeCtx(ctx context.Context, mask uint32, cfg
 	res := &Result{Space: h.Space, Config: cfg}
 	defer finishIdentifySpan(sp, res)
 	defer recordIdentifyMetrics(ctx, res)
-	c := &canceler{ctx: ctx}
-	h.scanNodeOptimized(mask, cfg, res, c)
+	c := &canceler{}
+	h.scanNodeOptimized(ctx, mask, cfg, res, c)
 	h.sortRegions(res.Regions)
 	return res.Regions, c.err
 }

@@ -44,7 +44,7 @@ func (d *Dataset) WriteCSVFile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdiscard error-path cleanup; the success path checks the explicit Close below
 	if err := d.WriteCSV(f); err != nil {
 		return err
 	}
@@ -183,6 +183,6 @@ func ReadCSVFile(path, target string, protected []string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdiscard read-only close carries no information
 	return ReadCSV(f, target, protected)
 }

@@ -1,7 +1,7 @@
 package dataset
 
 import (
-	"math/rand"
+	"math/rand" //lint:allow determinism consumes injected *rand.Rand; construction only via stats.NewRNG
 
 	"repro/internal/stats"
 )

@@ -55,7 +55,7 @@ func SaveFile(path string, c Classifier) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdiscard error-path cleanup; the success path checks the explicit Close below
 	if err := Save(f, c); err != nil {
 		return err
 	}
@@ -109,7 +109,7 @@ func LoadFile(path string) (Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errdiscard read-only close carries no information
 	return Load(f)
 }
 

@@ -2,7 +2,7 @@ package ml
 
 import (
 	"context"
-	"math/rand"
+	"math/rand" //lint:allow determinism consumes injected *rand.Rand; construction only via stats.NewRNG
 	"sort"
 
 	"repro/internal/stats"

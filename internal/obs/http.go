@@ -21,7 +21,7 @@ func SnapshotHandler(src func() *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		// WriteJSON is nil-receiver safe; encoding a snapshot cannot
 		// fail, so any error here is the client hanging up mid-write.
-		_ = src().WriteJSON(w)
+		_ = src().WriteJSON(w) //lint:allow errdiscard best-effort write to a disconnecting client
 	})
 }
 

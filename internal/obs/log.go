@@ -116,7 +116,7 @@ func (l *Logger) log(level Level, msg string, kvs []any) {
 	b.WriteByte('\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	io.WriteString(l.w, b.String())
+	io.WriteString(l.w, b.String()) //lint:allow errdiscard log sink failures must not fail the caller
 }
 
 // quoteIfNeeded wraps values containing spaces, quotes, or '=' in

@@ -586,7 +586,7 @@ func duplicate(d *dataset.Dataset, pool []int, n int, muts *[]mutation, rng inte
 	for i := 0; i < n; i++ {
 		j := pool[rng.Intn(len(pool))]
 		row := append([]int32(nil), d.Rows[j]...)
-		d.Append(row, d.Labels[j])
+		d.Append(row, d.Labels[j]) //lint:allow errdiscard row cloned from the same dataset, so the width invariant holds
 		*muts = append(*muts, mutation{kind: mutAdd, row: row, positive: d.Labels[j] == 1})
 	}
 	return n
@@ -601,7 +601,7 @@ func duplicateRanked(d *dataset.Dataset, ranked []int, k int, muts *[]mutation) 
 	for i := 0; i < k; i++ {
 		j := ranked[i%len(ranked)]
 		row := append([]int32(nil), d.Rows[j]...)
-		d.Append(row, d.Labels[j])
+		d.Append(row, d.Labels[j]) //lint:allow errdiscard row cloned from the same dataset, so the width invariant holds
 		*muts = append(*muts, mutation{kind: mutAdd, row: row, positive: d.Labels[j] == 1})
 	}
 	return k

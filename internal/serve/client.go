@@ -59,7 +59,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //lint:allow errdiscard read-only close carries no information
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var eb errorBody
 		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); derr != nil || eb.Error == "" {

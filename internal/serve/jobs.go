@@ -97,8 +97,7 @@ type engine struct {
 	seq        int
 	seqRunning int // currently-running job count, behind mu
 	wg         sync.WaitGroup
-	baseCtx    context.Context // cancelled to hard-stop running jobs
-	abort      context.CancelFunc
+	abort      context.CancelFunc // cancels the workers' base context, hard-stopping running jobs
 
 	jobTimeout time.Duration // default per-job deadline
 	maxTimeout time.Duration // clamp for request-supplied deadlines
@@ -114,11 +113,14 @@ func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, ru
 	if queueDepth <= 0 {
 		queueDepth = 16
 	}
-	ctx, abort := context.WithCancel(context.Background())
+	// The base context is cancelled by abort to hard-stop running
+	// jobs. It is handed to each worker goroutine as a parameter —
+	// never stored on the engine — so cancellation stays attached to
+	// the call tree (ctxfirst contract).
+	baseCtx, abort := context.WithCancel(context.Background())
 	e := &engine{
 		jobs:       map[string]*job{},
 		queue:      make(chan *job, queueDepth),
-		baseCtx:    ctx,
 		abort:      abort,
 		jobTimeout: jobTimeout,
 		maxTimeout: maxTimeout,
@@ -128,7 +130,7 @@ func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, ru
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go e.worker()
+		go e.worker(baseCtx)
 	}
 	return e
 }
@@ -141,7 +143,7 @@ func (e *engine) Submit(req JobRequest, release func()) (*job, error) {
 	j := &job{
 		req:      req,
 		state:    StateQueued,
-		enqueued: time.Now(),
+		enqueued: time.Now(), //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
 		metrics:  obs.NewRegistry(),
 		tracer:   obs.NewTracer(),
 		release:  release,
@@ -229,7 +231,7 @@ func (j *job) finishLocked(s State, errMsg string) {
 	}
 	j.state = s
 	j.errMsg = errMsg
-	j.finished = time.Now()
+	j.finished = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
 	if j.release != nil {
 		j.release()
 	}
@@ -257,16 +259,17 @@ func (e *engine) counts() (queued, running int) {
 	return queued, running
 }
 
-func (e *engine) worker() {
+func (e *engine) worker(baseCtx context.Context) {
 	defer e.wg.Done()
 	for j := range e.queue {
 		e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
-		e.runOne(j)
+		e.runOne(baseCtx, j)
 	}
 }
 
-// runOne executes one dequeued job end to end.
-func (e *engine) runOne(j *job) {
+// runOne executes one dequeued job end to end. baseCtx is the
+// engine's hard-stop context, threaded in from the worker loop.
+func (e *engine) runOne(baseCtx context.Context, j *job) {
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled while queued
 		j.mu.Unlock()
@@ -282,12 +285,12 @@ func (e *engine) runOne(j *job) {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(e.baseCtx, timeout)
+		ctx, cancel = context.WithTimeout(baseCtx, timeout)
 	} else {
-		ctx, cancel = context.WithCancel(e.baseCtx)
+		ctx, cancel = context.WithCancel(baseCtx)
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()

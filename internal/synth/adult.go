@@ -136,7 +136,7 @@ func AdultN(n int, seed int64) *dataset.Dataset {
 			iw = []float64{0.12, 0.28, 0.24, 0.16, 0.20}
 		}
 		row[12] = weightedPick(r, iw)
-		d.Append(row, bernoulli(r, model.prob(row)))
+		d.Append(row, bernoulli(r, model.prob(row))) //lint:allow errdiscard row built to schema width by this generator
 	}
 	return d
 }

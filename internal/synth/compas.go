@@ -90,7 +90,7 @@ func CompasN(n int, seed int64) *dataset.Dataset {
 			jw = []float64{0.55, 0.30, 0.15}
 		}
 		row[5] = weightedPick(r, jw)
-		d.Append(row, bernoulli(r, model.prob(row)))
+		d.Append(row, bernoulli(r, model.prob(row))) //lint:allow errdiscard row built to schema width by this generator
 	}
 	return d
 }

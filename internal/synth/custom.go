@@ -122,7 +122,7 @@ func Custom(cfg CustomConfig, seed int64) (*dataset.Dataset, error) {
 			}
 			row[a] = weightedPick(r, w)
 		}
-		d.Append(row, bernoulli(r, model.prob(row)))
+		d.Append(row, bernoulli(r, model.prob(row))) //lint:allow errdiscard row built to schema width by this generator
 	}
 	return d, nil
 }

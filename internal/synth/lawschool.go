@@ -131,7 +131,7 @@ func LawSchoolN(n int, seed int64) *dataset.Dataset {
 			pe = []float64{0.15, 0.45, 0.40}
 		}
 		row[11] = weightedPick(r, pe)
-		raw.Append(row, bernoulli(r, model.prob(row)))
+		raw.Append(row, bernoulli(r, model.prob(row))) //lint:allow errdiscard row built to schema width by this generator
 	}
 	bal := balance(raw, r)
 	if bal.Len() > n {

@@ -14,7 +14,7 @@ package synth
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //lint:allow determinism consumes injected *rand.Rand; construction only via stats.NewRNG
 	"sync"
 
 	"repro/internal/dataset"
