@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check fuzz
+.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check fuzz
 
 all: check
 
@@ -57,8 +57,20 @@ serve-check:
 	$(GO) vet ./internal/serve/... ./cmd/remedyd/...
 	$(GO) test -race ./internal/serve/... ./cmd/remedyd/...
 
+# durable-check gates the crash-safety layer: the journal/spill
+# package's unit and fuzz-seed tests, and the serve-level chaos tests
+# (crash mid-identify, crash mid-remedy, recovery budgets), all under
+# the race detector. These are the tests that catch a lost or
+# duplicated job.
+durable-check:
+	$(GO) vet ./internal/durable/...
+	$(GO) test -race ./internal/durable/...
+	$(GO) test -race -count=1 -run 'Durable|Crash|Recovery|Restart|Retry|Circuit' \
+	    ./internal/serve/ ./cmd/remedyd/
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/durable/ -fuzz FuzzJournalReplay -fuzztime 30s
 
-check: build vet lint obs-check serve-check race
+check: build vet lint obs-check serve-check durable-check race
 	@echo "all checks passed"

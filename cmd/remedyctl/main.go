@@ -31,7 +31,11 @@
 // dataset is registered with a running remedyd, the mode is submitted
 // as an async job built from the same flags, and the CLI polls the
 // job (interval -poll) until completion, printing the JSON result.
-// Ctrl-C cancels the remote job before exiting.
+// Ctrl-C cancels the remote job before exiting. Transient server
+// failures — a full queue (429), 5xx, transport errors — are retried
+// with deterministic backoff, logging "queue full, retrying
+// (attempt n/k)"; the CLI exits non-zero only once the retry budget
+// is exhausted.
 //
 // Every mode honors -timeout and SIGINT: on expiry or Ctrl-C the
 // pipeline stops at the next cooperative checkpoint and -mode remedy
@@ -263,7 +267,24 @@ func runRemote(ctx context.Context, baseURL, mode string, d *dataset.Dataset, na
 	if mode != "identify" && mode != "remedy" && mode != "audit" {
 		return fmt.Errorf("-serve-url supports identify, remedy, and audit, not %q", mode)
 	}
-	client := serve.NewClient(baseURL)
+	// Transient server trouble — queue backpressure (429), 5xx, transport
+	// errors — is retried with deterministic backoff before the CLI gives
+	// up; the run only exits non-zero once the whole budget is spent.
+	lg := obs.LoggerFrom(ctx)
+	client := serve.NewRetryingClient(baseURL, serve.RetryPolicy{
+		Seed: seed,
+		OnRetry: func(info serve.RetryInfo) {
+			if info.Status == http.StatusTooManyRequests {
+				lg.Warn("queue full, retrying",
+					"attempt", fmt.Sprintf("%d/%d", info.Attempt, info.MaxAttempts),
+					"delay", info.Delay)
+				return
+			}
+			lg.Warn("request failed, retrying",
+				"attempt", fmt.Sprintf("%d/%d", info.Attempt, info.MaxAttempts),
+				"delay", info.Delay, "err", info.Err)
+		},
+	})
 	var protected []string
 	for _, a := range d.Schema.Attrs {
 		if a.Protected {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -282,5 +283,65 @@ func TestRunServeURL(t *testing.T) {
 		"-input", csvPath, "-target", "two_year_recid", "-protected", "age,race,sex"}, io.Discard)
 	if err == nil {
 		t.Fatal("unreachable server must error")
+	}
+}
+
+// TestRunServeURLRetriesQueueFull fakes a remedyd whose queue is full
+// for the first two submissions: the CLI must log "queue full,
+// retrying (attempt n/k)" and still succeed, and a server that never
+// recovers must surface the final 429 after the retry budget.
+func TestRunServeURLRetriesQueueFull(t *testing.T) {
+	silenceStdout(t)
+	var submits int
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			t.Error(err)
+		}
+	}
+	mux.HandleFunc("POST /datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, serve.DatasetInfo{ID: "ds-1", Target: "two_year_recid", Rows: 10})
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits++; submits <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeJSON(w, map[string]string{"error": "job queue full"})
+			return
+		}
+		writeJSON(w, serve.JobStatus{ID: "job-000001", State: serve.StateQueued})
+	})
+	mux.HandleFunc("GET /jobs/job-000001", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, serve.JobStatus{ID: "job-000001", State: serve.StateDone})
+	})
+	mux.HandleFunc("GET /jobs/job-000001/result", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"regions": []any{}})
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	csvPath := filepath.Join(t.TempDir(), "compas.csv")
+	if err := synth.CompasN(50, 4).WriteCSVFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-mode", "identify", "-serve-url", hs.URL, "-poll", "5ms",
+		"-input", csvPath, "-target", "two_year_recid", "-protected", "age,race,sex"}
+	var errbuf strings.Builder
+	if err := run(context.Background(), args, &errbuf); err != nil {
+		t.Fatalf("run with transient 429s: %v (log: %s)", err, errbuf.String())
+	}
+	if !strings.Contains(errbuf.String(), "queue full, retrying") ||
+		!strings.Contains(errbuf.String(), "1/4") {
+		t.Fatalf("missing queue-full retry lines in log:\n%s", errbuf.String())
+	}
+
+	// Never recovers: the run fails with the final 429 only after the
+	// whole budget is spent.
+	submits = -1000
+	errbuf.Reset()
+	err := run(context.Background(), args, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("exhausted retries = %v, want the final 429", err)
 	}
 }

@@ -20,6 +20,15 @@
 // registry snapshot; DELETE /jobs/{id} cancels. On SIGINT/SIGTERM the
 // server stops accepting work, drains running jobs within
 // -drain-timeout, and marks everything else cancelled.
+//
+// With -data-dir the server is crash-safe: every job state transition
+// is journaled to an append-only checksummed log and uploaded datasets
+// are spilled to disk before they are acknowledged. On restart with
+// the same -data-dir the journal is replayed, finished jobs stay
+// queryable, and interrupted jobs are re-queued (resuming identify
+// work from the last completed lattice level) until -max-attempts is
+// spent. -journal-sync trades append throughput for power-loss
+// durability.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -66,6 +76,9 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		maxBytes     = fs.Int64("max-upload-bytes", 256<<20, "per-upload byte cap")
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		dataDir      = fs.String("data-dir", "", "durability directory: journal job state and spill datasets here, recover on restart (empty = in-memory only)")
+		journalSync  = fs.Bool("journal-sync", false, "fsync the job journal after every append (slower, survives power loss)")
+		maxAttempts  = fs.Int("max-attempts", 3, "run budget per job across restarts; an interrupted job past it is marked failed")
 		verbose      = fs.Bool("v", false, "info-level structured logging to stderr")
 		veryVerb     = fs.Bool("vv", false, "debug-level structured logging to stderr")
 	)
@@ -82,15 +95,36 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	}
 	lg := obs.NewLogger(errw, level)
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxDatasets:    *maxDatasets,
 		MaxUploadRows:  *maxRows,
 		MaxUploadBytes: *maxBytes,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
+		MaxAttempts:    *maxAttempts,
 		Logger:         lg,
-	})
+	}
+	var srv *serve.Server
+	if *dataDir != "" {
+		store, err := durable.Open(ctx, *dataDir, *journalSync)
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				lg.Error("data dir close failed", "err", cerr)
+			}
+		}()
+		srv, err = serve.NewDurable(ctx, cfg, store)
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		lg.Info("durability enabled", "data-dir", *dataDir,
+			"journal-sync", *journalSync, "max-attempts", *maxAttempts)
+	} else {
+		srv = serve.New(cfg)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

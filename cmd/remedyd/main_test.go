@@ -114,3 +114,49 @@ func TestRunBadAddr(t *testing.T) {
 		t.Fatal("unbindable address must error")
 	}
 }
+
+// TestServeDataDirSurvivesRestart boots remedyd with -data-dir, runs a
+// job to completion, restarts on the same directory, and checks the
+// dataset and the finished job's result both survived the restart.
+func TestServeDataDirSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c, stop := startServer(t, "-workers", "1", "-data-dir", dir)
+
+	d := synth.CompasN(300, 1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(ctx, &buf, "compas", "two_year_recid", []string{"age", "race", "sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(ctx, serve.JobRequest{Kind: "identify", DatasetID: info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 10*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("first run: job = %+v, err = %v", st, err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	c2, stop2 := startServer(t, "-workers", "1", "-data-dir", dir)
+	defer stop2() //lint:allow errdiscard second shutdown outcome is not under test
+	d2, err := c2.Dataset(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("dataset lost across restart: %v", err)
+	}
+	if d2.Rows != info.Rows {
+		t.Fatalf("recovered dataset has %d rows, want %d", d2.Rows, info.Rows)
+	}
+	got, err := c2.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("job history lost across restart: %v", err)
+	}
+	if got.State != serve.StateDone {
+		t.Fatalf("recovered job state = %s, want done", got.State)
+	}
+}

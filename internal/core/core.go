@@ -84,6 +84,40 @@ type Config struct {
 	// algorithm (IdentifyOptimized falls back automatically, as the
 	// dominating-region identity assumes unit distances).
 	EuclideanT float64
+	// OnLevel, when set, is called after each hierarchy level of the
+	// optimized traversal completes, with a snapshot of that level's
+	// regions and work counters — the checkpoint hook long-running
+	// identifications persist through so a crash resumes from the last
+	// completed level. A non-nil error aborts the traversal and is
+	// returned with the partial Result. Setting OnLevel forces the
+	// sequential optimized path (the parallel fan-out has no level
+	// barrier to checkpoint at) and is rejected alongside
+	// OrderedDistance or EuclideanT, whose naïve traversal does not
+	// checkpoint. Never marshaled (func); resumable state lives in the
+	// snapshots it is handed.
+	OnLevel func(ctx context.Context, snap LevelSnapshot) error `json:"-"`
+	// Resume seeds the traversal with previously checkpointed levels:
+	// their regions and counters are folded into the Result and their
+	// masks are skipped, so an interrupted identification re-run with
+	// the same Config and data produces a Result identical to an
+	// uninterrupted run. Honored by both the sequential and parallel
+	// optimized traversals; snapshots for levels outside the Scope are
+	// ignored. Duplicate levels keep the last snapshot (recovery
+	// journals are last-wins).
+	Resume []LevelSnapshot `json:"-"`
+}
+
+// LevelSnapshot is one completed hierarchy level of an optimized
+// identification: the checkpoint unit. Regions holds the IBS members
+// found at that level; the counters are that level's deltas, so
+// summing snapshots of all levels reproduces the full Result's
+// counters.
+type LevelSnapshot struct {
+	Level       int      `json:"level"`
+	Regions     []Region `json:"regions,omitempty"`
+	Explored    int      `json:"explored"`
+	NeighborOps int      `json:"neighbor_ops"`
+	Pruned      int      `json:"pruned"`
 }
 
 // DefaultMinSize is the paper's rule-of-thumb region size threshold k.
@@ -109,8 +143,28 @@ func (c Config) validate(sp *pattern.Space) error {
 	if c.EuclideanT < 0 {
 		return fmt.Errorf("core: negative Euclidean radius %v", c.EuclideanT)
 	}
+	if (c.OnLevel != nil || len(c.Resume) > 0) && (c.OrderedDistance || c.EuclideanT > 0) {
+		return fmt.Errorf("core: level checkpoints require the optimized unit-distance traversal")
+	}
+	for _, snap := range c.Resume {
+		if snap.Level < 1 {
+			return fmt.Errorf("core: resume snapshot for invalid level %d", snap.Level)
+		}
+	}
 	_ = sp
 	return nil
+}
+
+// resumeByLevel indexes the Resume snapshots by level, last-wins.
+func (c Config) resumeByLevel() map[int]LevelSnapshot {
+	if len(c.Resume) == 0 {
+		return nil
+	}
+	m := make(map[int]LevelSnapshot, len(c.Resume))
+	for _, snap := range c.Resume {
+		m[snap.Level] = snap
+	}
+	return m
 }
 
 // Region is one member of the IBS: a biased region together with the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -211,7 +212,9 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 		// unit-distance setting; fall back to the naïve traversal.
 		return h.IdentifyNaiveCtx(ctx, cfg)
 	}
-	if cfg.Workers > 1 {
+	if cfg.Workers > 1 && cfg.OnLevel == nil {
+		// OnLevel forces the sequential path: checkpoints are cut at
+		// level barriers, which the parallel fan-out does not have.
 		return h.identifyOptimizedParallel(ctx, cfg)
 	}
 	ctx, sp := obs.StartSpan(ctx, "core.identify.optimized")
@@ -222,26 +225,69 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 	defer recordIdentifyMetrics(ctx, res)
 	c := &canceler{}
 	levelHist := obs.MetricsFrom(ctx).Histogram("identify.level_ms", obs.DefaultDurationBucketsMS)
+	resume := cfg.resumeByLevel()
+	applied := make(map[int]bool, len(resume))
 	var (
 		lvlSpan  *obs.Span
 		curLevel = -1
 		lvlStart time.Time
+		// Counter values at the current level's start, so the level's
+		// checkpoint carries deltas.
+		lvlRegs, lvlExp, lvlNbr, lvlPrn int
 	)
-	endLevel := func() {
-		if curLevel >= 0 {
-			lvlSpan.End()
-			levelHist.Observe(float64(time.Since(lvlStart).Microseconds()) / 1000)
+	// endLevel closes the open level's span; when the level ran to
+	// completion it also cuts the checkpoint, whose error aborts the
+	// traversal.
+	endLevel := func(completed bool) error {
+		if curLevel < 0 {
+			return nil
 		}
+		lvlSpan.End()
+		levelHist.Observe(float64(time.Since(lvlStart).Microseconds()) / 1000)
+		lv := curLevel
+		curLevel = -1
+		if !completed || cfg.OnLevel == nil {
+			return nil
+		}
+		return cfg.OnLevel(ctx, LevelSnapshot{
+			Level:       lv,
+			Regions:     append([]Region(nil), res.Regions[lvlRegs:]...),
+			Explored:    res.Explored - lvlExp,
+			NeighborOps: res.NeighborOps - lvlNbr,
+			Pruned:      res.Pruned - lvlPrn,
+		})
 	}
 	for _, mask := range h.masksForScope(cfg.Scope) {
 		// The bottom-up traversal visits the lattice level by level;
 		// each level gets its own timing span so the trace shows where
 		// the walk spends its time (the leaf level dominates).
-		if lv := levelOf(mask); lv != curLevel {
-			endLevel()
+		lv := levelOf(mask)
+		if snap, ok := resume[lv]; ok {
+			// Checkpointed by a previous attempt: fold the snapshot in
+			// once and skip the level's masks entirely.
+			if !applied[lv] {
+				if err := endLevel(true); err != nil {
+					h.sortRegions(res.Regions)
+					return res, err
+				}
+				res.Regions = append(res.Regions, snap.Regions...)
+				res.Explored += snap.Explored
+				res.NeighborOps += snap.NeighborOps
+				res.Pruned += snap.Pruned
+				applied[lv] = true
+			}
+			continue
+		}
+		if lv != curLevel {
+			if err := endLevel(true); err != nil {
+				h.sortRegions(res.Regions)
+				return res, err
+			}
+			//lint:allow obspair lvlSpan is ended by the endLevel closure on every path (loop body, resume fold, and the final endLevel call)
 			_, lvlSpan = obs.StartSpan(ctx, "core.identify.level")
 			lvlSpan.SetInt("level", int64(lv))
 			curLevel = lv
+			lvlRegs, lvlExp, lvlNbr, lvlPrn = len(res.Regions), res.Explored, res.NeighborOps, res.Pruned
 			//lint:allow determinism level timing feeds the trace histogram only; pipeline output is unaffected
 			lvlStart = time.Now()
 		}
@@ -250,7 +296,10 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 			break
 		}
 	}
-	endLevel()
+	if err := endLevel(c.err == nil); err != nil {
+		h.sortRegions(res.Regions)
+		return res, err
+	}
 	if lg := obs.LoggerFrom(ctx); lg.On(obs.LevelDebug) {
 		lg.Scope("core").Debug("identify done",
 			"explored", res.Explored, "pruned", res.Pruned, "regions", len(res.Regions))
@@ -282,6 +331,18 @@ func (h *Hierarchy) identifyOptimizedParallel(ctx context.Context, cfg Config) (
 		return &Result{Space: h.Space, Config: cfg}, err
 	}
 	masks := h.masksForScope(cfg.Scope)
+	// Resumed levels are folded in from their snapshots at the merge and
+	// their masks dropped from the fan-out.
+	resume := cfg.resumeByLevel()
+	if resume != nil {
+		kept := make([]uint32, 0, len(masks))
+		for _, m := range masks {
+			if _, ok := resume[levelOf(m)]; !ok {
+				kept = append(kept, m)
+			}
+		}
+		masks = kept
+	}
 	shards := make([]*Result, len(masks))
 	errs := make([]error, len(masks))
 	sem := make(chan struct{}, cfg.Workers)
@@ -336,6 +397,26 @@ dispatch:
 		res.Explored += shard.Explored
 		res.NeighborOps += shard.NeighborOps
 		res.Pruned += shard.Pruned
+	}
+	if resume != nil {
+		inScope := make(map[int]bool)
+		for _, m := range h.masksForScope(cfg.Scope) {
+			inScope[levelOf(m)] = true
+		}
+		lvls := make([]int, 0, len(resume))
+		for lv := range resume {
+			if inScope[lv] {
+				lvls = append(lvls, lv)
+			}
+		}
+		sort.Ints(lvls)
+		for _, lv := range lvls {
+			snap := resume[lv]
+			res.Regions = append(res.Regions, snap.Regions...)
+			res.Explored += snap.Explored
+			res.NeighborOps += snap.NeighborOps
+			res.Pruned += snap.Pruned
+		}
 	}
 	finishIdentifySpan(sp, res)
 	recordIdentifyMetrics(ctx, res)

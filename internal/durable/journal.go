@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// RecordType discriminates journal records.
+type RecordType string
+
+const (
+	// RecSubmit records one job's admission: its ID, request body, and
+	// idempotency key, plus the initial "queued" state.
+	RecSubmit RecordType = "submit"
+	// RecState records one job state transition.
+	RecState RecordType = "state"
+	// RecCheckpoint records one completed identify lattice level for a
+	// job, carrying an opaque payload the serving layer encodes.
+	RecCheckpoint RecordType = "checkpoint"
+)
+
+// Record is one journal entry. The serving layer owns the semantics;
+// the journal only frames, checksums, and replays records.
+type Record struct {
+	Type  RecordType `json:"type"`
+	JobID string     `json:"job,omitempty"`
+
+	// Submit fields.
+	IdemKey string          `json:"idem_key,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	// State fields. State strings are the serving layer's job states
+	// plus "interrupted", written during recovery for jobs found
+	// running at the crash.
+	State   string `json:"state,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+
+	// Checkpoint fields: the completed lattice level and an opaque
+	// snapshot payload.
+	Level      int             `json:"level,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// Journal framing: the file opens with a magic+version header; each
+// record is [uint32 LE payload length][uint32 LE CRC-32 (IEEE) of the
+// payload][payload JSON]. Append-only, one Write syscall per record,
+// so a crash can only ever leave a torn tail — which Replay detects
+// (short frame, short payload, or checksum mismatch) and stops at.
+var journalMagic = []byte("remedyWAL1\n")
+
+const (
+	frameHeaderLen = 8
+	// maxRecordLen rejects absurd frame lengths during replay: a
+	// corrupt length field must not drive a huge allocation.
+	maxRecordLen = 64 << 20
+)
+
+// ErrJournalClosed is returned by Append after Close.
+var ErrJournalClosed = errors.New("durable: journal closed")
+
+// Journal is the append-only job log. Appends are serialized by an
+// internal mutex; replay reads a separate handle, so recovery can
+// replay the same path the journal is appending to.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	sync   bool
+	closed bool
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending, validating the header of a non-empty existing file.
+// syncEach selects fsync after every append: full
+// power-loss durability at a per-append fsync cost. Without it the
+// journal survives process crashes (the kernel has the bytes) but a
+// simultaneous OS crash may lose the tail — which replay then treats
+// as torn, exactly like any other interrupted append.
+func OpenJournal(ctx context.Context, path string, syncEach bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close() //lint:allow errdiscard error-path cleanup; the Stat failure is already being returned
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(journalMagic); err != nil {
+			_ = f.Close() //lint:allow errdiscard error-path cleanup; the Write failure is already being returned
+			return nil, fmt.Errorf("durable: write journal header: %w", err)
+		}
+	} else {
+		hdr := make([]byte, len(journalMagic))
+		if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != string(journalMagic) {
+			_ = f.Close() //lint:allow errdiscard error-path cleanup; the header mismatch is already being returned
+			return nil, fmt.Errorf("durable: %s is not a remedy journal (bad header)", path)
+		}
+	}
+	obs.LoggerFrom(ctx).Scope("durable").Debug("journal open", "path", path, "bytes", st.Size())
+	return &Journal{f: f, path: path, sync: syncEach}, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append frames, checksums, and writes one record. The context is
+// used for fault injection and observability only — an append is
+// never skipped because ctx is cancelled, since the callers journal
+// transitions (including cancellations) that have already happened.
+//
+// The faults point durable.journal.append fires before the write with
+// the record as its argument; its error is returned as a write
+// failure would be.
+func (j *Journal) Append(ctx context.Context, rec Record) error {
+	if err := faults.FireCtx(ctx, faults.JournalAppend, rec); err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: journal sync: %w", err)
+		}
+	}
+	m := obs.MetricsFrom(ctx)
+	m.Counter("durable.journal_appends").Inc()
+	m.Counter("durable.journal_bytes").Add(int64(len(frame)))
+	return nil
+}
+
+// Close syncs and closes the journal; further Appends fail with
+// ErrJournalClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return fmt.Errorf("durable: journal close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("durable: journal close: %w", cerr)
+	}
+	return nil
+}
+
+// ReplayInfo reports how a replay ended.
+type ReplayInfo struct {
+	// Records is the number of records decoded.
+	Records int
+	// Torn is set when the journal ended in a damaged tail (short
+	// frame, short payload, checksum mismatch, or undecodable JSON);
+	// Reason describes it. A torn tail is the expected crash signature,
+	// not an error: everything before it is trusted.
+	Torn   bool
+	Reason string
+}
+
+// ReplayJournal reads the journal at path front to back, calling fn
+// for each intact record in order. It stops cleanly at the first
+// damaged frame (see ReplayInfo) — bytes past damage are never
+// trusted. A missing file replays as empty. fn's error aborts the
+// replay and is returned; so does an error injected at the
+// durable.recover.record faults point, which fires before fn for each
+// record.
+func ReplayJournal(ctx context.Context, path string, fn func(Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return info, nil
+	}
+	if err != nil {
+		return info, fmt.Errorf("durable: replay: %w", err)
+	}
+	defer f.Close() //lint:allow errdiscard read-only close carries no information
+	r := bufio.NewReader(f)
+
+	hdr := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			info.Torn, info.Reason = true, "truncated header"
+			return info, nil
+		}
+		return info, fmt.Errorf("durable: replay: %w", err)
+	}
+	if string(hdr) != string(journalMagic) {
+		return info, fmt.Errorf("durable: %s is not a remedy journal (bad header)", path)
+	}
+
+	frame := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, frame); err != nil {
+			if errors.Is(err, io.EOF) {
+				return info, nil // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				info.Torn, info.Reason = true, "torn frame header"
+				return info, nil
+			}
+			return info, fmt.Errorf("durable: replay: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordLen {
+			info.Torn, info.Reason = true, fmt.Sprintf("frame length %d exceeds limit", n)
+			return info, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				info.Torn, info.Reason = true, "torn payload"
+				return info, nil
+			}
+			return info, fmt.Errorf("durable: replay: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			info.Torn, info.Reason = true, "checksum mismatch"
+			return info, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			info.Torn, info.Reason = true, "undecodable record"
+			return info, nil
+		}
+		if err := faults.FireCtx(ctx, faults.RecoverRecord, rec); err != nil {
+			return info, fmt.Errorf("durable: replay record %d: %w", info.Records, err)
+		}
+		if err := fn(rec); err != nil {
+			return info, err
+		}
+		info.Records++
+		obs.MetricsFrom(ctx).Counter("durable.records_replayed").Inc()
+	}
+}

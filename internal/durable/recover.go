@@ -1,0 +1,187 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Job states as the journal spells them. The serving layer owns the
+// richer typed state machine; the reduction only needs to know which
+// states are terminal and that "running" work orphaned by a crash
+// must be re-queued.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
+)
+
+// terminal reports whether a journaled state never transitions again.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// JobRecord is one job as reduced from the journal: its identity, the
+// last state the journal proves, and its accumulated checkpoints.
+type JobRecord struct {
+	ID      string
+	IdemKey string
+	Request json.RawMessage
+	State   string
+	Error   string
+	// Attempt counts how many times the job has been (re)queued after
+	// an interruption; 0 for a job on its first life.
+	Attempt int
+	// Checkpoints holds the latest identify checkpoint payload per
+	// completed lattice level (later records for the same level win,
+	// so a resumed attempt that re-runs a level supersedes the old
+	// snapshot).
+	Checkpoints map[int]json.RawMessage
+}
+
+// CheckpointLevels returns the checkpointed levels in ascending order.
+func (j *JobRecord) CheckpointLevels() []int {
+	levels := make([]int, 0, len(j.Checkpoints))
+	for lv := range j.Checkpoints {
+		levels = append(levels, lv)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+// Table is the reduced job table: the consistent state the journal
+// proves, however the process died.
+type Table struct {
+	// Jobs in submission order.
+	Jobs []*JobRecord
+	// MaxJobSeq is the largest numeric suffix among "job-NNNNNN" IDs,
+	// so a recovered engine can continue the sequence without reuse.
+	MaxJobSeq int
+	// Dropped counts records the reduction ignored: transitions or
+	// checkpoints for unknown jobs, duplicate submissions, and
+	// transitions after a terminal state. A handful of dropped records
+	// is the expected signature of a journal whose tail died between
+	// related appends; the reduction stays consistent regardless.
+	Dropped int
+	// Replay carries how the journal read ended (torn tail etc.).
+	Replay ReplayInfo
+}
+
+// Reduce folds journal records into a consistent job table. It is
+// deterministic, never panics, and enforces the state machine:
+// unknown-job records are dropped, duplicate submissions are dropped,
+// and once a job reaches a terminal state every later record for it
+// is dropped (a duplicate "done" from a crash between append and ack
+// cannot double-finish a job).
+func Reduce(recs []Record) *Table {
+	t := &Table{}
+	byID := make(map[string]*JobRecord)
+	for _, rec := range recs {
+		t.reduceOne(byID, rec)
+	}
+	return t
+}
+
+func (t *Table) reduceOne(byID map[string]*JobRecord, rec Record) {
+	if rec.JobID == "" {
+		t.Dropped++
+		return
+	}
+	j := byID[rec.JobID]
+	switch rec.Type {
+	case RecSubmit:
+		if j != nil {
+			t.Dropped++ // duplicate submission: first one wins
+			return
+		}
+		state := rec.State
+		if state == "" {
+			state = StateQueued
+		}
+		j = &JobRecord{
+			ID:      rec.JobID,
+			IdemKey: rec.IdemKey,
+			Request: rec.Request,
+			State:   state,
+			Attempt: rec.Attempt,
+		}
+		byID[rec.JobID] = j
+		t.Jobs = append(t.Jobs, j)
+		if seq, ok := jobSeq(rec.JobID); ok && seq > t.MaxJobSeq {
+			t.MaxJobSeq = seq
+		}
+	case RecState:
+		if j == nil || terminal(j.State) || rec.State == "" {
+			t.Dropped++
+			return
+		}
+		j.State = rec.State
+		j.Error = rec.Error
+		if rec.Attempt > j.Attempt {
+			j.Attempt = rec.Attempt
+		}
+	case RecCheckpoint:
+		if j == nil || terminal(j.State) || len(rec.Checkpoint) == 0 {
+			t.Dropped++
+			return
+		}
+		if j.Checkpoints == nil {
+			j.Checkpoints = make(map[int]json.RawMessage)
+		}
+		j.Checkpoints[rec.Level] = rec.Checkpoint
+	default:
+		t.Dropped++
+	}
+}
+
+// jobSeq extracts the numeric suffix of a "job-NNNNNN" ID.
+func jobSeq(id string) (int, bool) {
+	suffix, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(suffix)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Recover replays the store's journal and reduces it to a job table,
+// under a "durable.recover" span carrying the outcome.
+func (s *Store) Recover(ctx context.Context) (*Table, error) {
+	ctx, sp := obs.StartSpan(ctx, "durable.recover")
+	defer sp.End()
+	var recs []Record
+	info, err := ReplayJournal(ctx, s.journal.Path(), func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		sp.SetStr("err", err.Error())
+		return nil, err
+	}
+	t := Reduce(recs)
+	t.Replay = info
+	sp.SetInt("records", int64(info.Records))
+	sp.SetInt("jobs", int64(len(t.Jobs)))
+	sp.SetInt("dropped", int64(t.Dropped))
+	if info.Torn {
+		sp.SetStr("torn_tail", info.Reason)
+	}
+	m := obs.MetricsFrom(ctx)
+	m.Counter("durable.jobs_recovered").Add(int64(len(t.Jobs)))
+	if lg := obs.LoggerFrom(ctx); lg.On(obs.LevelInfo) {
+		lg.Scope("durable").Info("journal recovered",
+			"records", info.Records, "jobs", len(t.Jobs),
+			"dropped", t.Dropped, "torn", info.Torn)
+	}
+	return t, nil
+}

@@ -51,6 +51,25 @@ const (
 	// error to fail the job at the server layer, or panic to simulate a
 	// worker crash the engine must absorb.
 	ServeJob Point = "serve.job.start"
+	// JournalAppend fires before every durable journal append, with the
+	// record about to be written as the argument. An error hook
+	// simulates a write failure (full disk, dead volume); a hook that
+	// fails every append from some record onward freezes the journal at
+	// a prefix — exactly the on-disk image an abrupt process death
+	// leaves behind, which is how the crash-restart chaos tests build
+	// their crash images. Hooks may panic only where the host code path
+	// documents recovery (checkpoint appends run under the job
+	// engine's panic absorber; lifecycle appends do not).
+	JournalAppend Point = "durable.journal.append"
+	// RecoverRecord fires once per decoded journal record during
+	// replay, with the record as the argument. An error hook aborts the
+	// recovery as an unreadable journal would.
+	RecoverRecord Point = "durable.recover.record"
+	// ClientDo fires before every HTTP attempt of serve.Client
+	// (including each retry), with "METHOD path" as the argument. An
+	// error hook simulates a transport failure, which the client's
+	// retry policy must absorb within its attempt budget.
+	ClientDo Point = "serve.client.do"
 )
 
 // Hook is an injected behavior. Returning a non-nil error makes the

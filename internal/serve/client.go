@@ -8,23 +8,48 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/faults"
 )
 
-// Client is a minimal HTTP client for a running remedyd, speaking the
-// same wire types the handlers serve. remedyctl -serve-url is built
-// on it; tests drive it against httptest servers.
+// Client is an HTTP client for a running remedyd, speaking the same
+// wire types the handlers serve. remedyctl -serve-url is built on it;
+// tests drive it against httptest servers.
+//
+// With a RetryPolicy attached (NewRetryingClient, or set Retry), every
+// request with a replayable body retries transient failures —
+// transport errors, 429 backpressure, 5xx — with deterministic
+// jittered exponential backoff, honors the server's Retry-After, and
+// trips a circuit breaker after repeated failures. Job submissions are
+// stamped with an idempotency key so a retried POST /jobs can never
+// enqueue a duplicate. A nil Retry is the legacy single-attempt mode.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry, when non-nil, enables the retry loop on every request
+	// except the streaming dataset upload (its body cannot be
+	// replayed).
+	Retry *RetryPolicy
+
+	st retryState
 }
 
-// NewClient returns a client for the server at baseURL.
+// NewClient returns a single-attempt client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// NewRetryingClient returns a client with the given retry policy
+// (zero-value fields take the policy's documented defaults).
+func NewRetryingClient(baseURL string, policy RetryPolicy) *Client {
+	c := NewClient(baseURL)
+	c.Retry = &policy
+	return c
 }
 
 func (c *Client) http() *http.Client {
@@ -35,19 +60,42 @@ func (c *Client) http() *http.Client {
 }
 
 // apiError is returned for any non-2xx response, carrying the
-// server's error envelope.
+// server's error envelope and its Retry-After hint (zero if absent).
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Msg)
 }
 
-// do issues one request and decodes the JSON response into out (when
-// out is non-nil).
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+// bodyReader wraps replayable bytes for one attempt (nil stays nil so
+// bodyless requests carry no Content-Type).
+func bodyReader(body []byte) io.Reader {
+	if body == nil {
+		return nil
+	}
+	return bytes.NewReader(body)
+}
+
+// do issues a request whose body (possibly nil) can be replayed,
+// through the retry policy when one is attached.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.Retry == nil {
+		return c.attempt(ctx, method, path, bodyReader(body), out)
+	}
+	return c.doRetry(ctx, method, path, body, out)
+}
+
+// attempt issues one request and decodes the JSON response into out
+// (when out is non-nil). The serve.client.do fault point fires before
+// every attempt, retries included, simulating transport failure.
+func (c *Client) attempt(ctx context.Context, method, path string, body io.Reader, out any) error {
+	if err := faults.FireCtx(ctx, faults.ClientDo, method+" "+path); err != nil {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
@@ -65,7 +113,11 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); derr != nil || eb.Error == "" {
 			eb.Error = resp.Status
 		}
-		return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		ae := &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -75,6 +127,8 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 
 // UploadDataset streams a CSV body into the registry and returns the
 // registered entry. Uploading the same content twice is idempotent.
+// The stream cannot be replayed, so this call is always a single
+// attempt even on a retrying client.
 func (c *Client) UploadDataset(ctx context.Context, csv io.Reader, name, target string, protected []string) (DatasetInfo, error) {
 	q := url.Values{}
 	q.Set("target", target)
@@ -83,7 +137,7 @@ func (c *Client) UploadDataset(ctx context.Context, csv io.Reader, name, target 
 		q.Set("name", name)
 	}
 	var info DatasetInfo
-	err := c.do(ctx, http.MethodPost, "/datasets?"+q.Encode(), csv, &info)
+	err := c.attempt(ctx, http.MethodPost, "/datasets?"+q.Encode(), csv, &info)
 	return info, err
 }
 
@@ -94,14 +148,20 @@ func (c *Client) Dataset(ctx context.Context, id string) (DatasetDetail, error) 
 	return d, err
 }
 
-// SubmitJob queues a job and returns its initial status.
+// SubmitJob queues a job and returns its initial status. A retrying
+// client stamps the request with a generated idempotency key first, so
+// a retry after an ambiguous failure (the POST may or may not have
+// landed) returns the already-queued job instead of a duplicate.
 func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
+	if c.Retry != nil && req.IdempotencyKey == "" {
+		req.IdempotencyKey = c.nextIdemKey(c.Retry.withDefaults())
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
 	var st JobStatus
-	err = c.do(ctx, http.MethodPost, "/jobs", bytes.NewReader(body), &st)
+	err = c.do(ctx, http.MethodPost, "/jobs", body, &st)
 	return st, err
 }
 

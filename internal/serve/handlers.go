@@ -53,10 +53,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps the library's sentinel errors onto HTTP statuses:
-// missing resources are 404, a full queue is 429 (backpressure), an
-// over-budget upload is 413, a pinned-full registry is 507, shutdown
-// is 503, conflicts are 409, and anything else from request handling
-// is a 400.
+// missing resources are 404, a full queue is 429 (backpressure, with a
+// Retry-After hint for well-behaved clients), an over-budget upload is
+// 413, a pinned-full registry is 507, shutdown is 503, conflicts are
+// 409, a result lost to a restart is 410, and anything else from
+// request handling is a 400.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -64,6 +65,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, dataset.ErrTooLarge):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrRegistryFull):
@@ -72,6 +74,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrDatasetBusy), errors.Is(err, ErrJobNotDone):
 		status = http.StatusConflict
+	case errors.Is(err, ErrResultGone):
+		status = http.StatusGone
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -93,7 +97,7 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("query parameter protected is required (comma-separated attribute names)"))
 		return
 	}
-	info, err := s.registry.Put(r.Body, q.Get("name"), target, protected)
+	info, err := s.registry.Put(r.Context(), r.Body, q.Get("name"), target, protected)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -118,7 +122,7 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.registry.Delete(r.PathValue("id")); err != nil {
+	if err := s.registry.Delete(r.Context(), r.PathValue("id")); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -146,7 +150,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	j, err := s.engine.Submit(req, release)
+	j, err := s.engine.Submit(r.Context(), req, release)
 	if err != nil {
 		// Submit released the dataset reference already.
 		writeError(w, err)
@@ -169,7 +173,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := s.engine.Cancel(r.PathValue("id"))
+	st, err := s.engine.Cancel(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -191,6 +195,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	switch state {
 	case StateDone:
+		if res == nil {
+			// Recovered history: the journal proves the job finished, but
+			// result payloads are not retained across restarts.
+			writeError(w, fmt.Errorf("%w: %s", ErrResultGone, j.id))
+			return
+		}
 		writeJSON(w, http.StatusOK, res)
 	case StateFailed, StateCancelled:
 		writeJSON(w, http.StatusOK, struct {

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/faults"
 	"repro/internal/obs"
 )
@@ -25,6 +28,10 @@ var (
 	// ErrJobNotDone is returned when fetching the result of a job that
 	// has not reached a terminal state (409).
 	ErrJobNotDone = errors.New("serve: job not finished")
+	// ErrResultGone is returned when fetching the result of a job that
+	// finished before a restart: the journal proves the outcome but
+	// result payloads are not retained across restarts (410).
+	ErrResultGone = errors.New("serve: job result not retained across restart")
 )
 
 // job is the engine's internal record for one submitted job. The
@@ -53,6 +60,17 @@ type job struct {
 	release func()
 	// done is closed on entry to any terminal state.
 	done chan struct{}
+	// admitted is closed once the job's submission record is journaled
+	// (or its journaling definitively failed). Workers wait on it before
+	// touching a dequeued job, so a "running" record can never precede
+	// the job's "submit" record in the journal.
+	admitted chan struct{}
+
+	// attempts counts crash-recovery re-queues (0 on a first life).
+	attempts int
+	// resume holds the identify checkpoints recovered from the journal,
+	// seeded into the traversal when the job re-runs.
+	resume []core.LevelSnapshot
 }
 
 // status snapshots the job's public view.
@@ -78,6 +96,7 @@ func (j *job) status() JobStatus {
 	if counters := j.metrics.Snapshot().Counters; len(counters) > 0 {
 		st.Progress = counters
 	}
+	st.Attempts = j.attempts
 	return st
 }
 
@@ -92,10 +111,12 @@ type engine struct {
 	mu         sync.Mutex
 	jobs       map[string]*job
 	order      []string // submission order, for GET /jobs
+	idem       map[string]*job
 	queue      chan *job
 	closed     bool
 	seq        int
 	seqRunning int // currently-running job count, behind mu
+	workers    int
 	wg         sync.WaitGroup
 	abort      context.CancelFunc // cancels the workers' base context, hard-stopping running jobs
 
@@ -104,8 +125,18 @@ type engine struct {
 	run        runnerFunc
 	metrics    *obs.Registry // server-level registry
 	logger     *obs.Logger
+
+	// journal, when non-nil, is the durable job log: every lifecycle
+	// transition is appended before it is acknowledged. Nil is the
+	// in-memory mode — every journaling helper returns immediately.
+	journal *durable.Journal
+	// maxAttempts caps crash-recovery re-queues of one job.
+	maxAttempts int
 }
 
+// newEngine builds the engine without starting its worker pool;
+// callers attach durability (journal, recovered jobs) and then call
+// start. Submissions before start simply wait in the queue.
 func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, run runnerFunc, m *obs.Registry, lg *obs.Logger) *engine {
 	if workers <= 0 {
 		workers = 4
@@ -113,33 +144,103 @@ func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, ru
 	if queueDepth <= 0 {
 		queueDepth = 16
 	}
-	// The base context is cancelled by abort to hard-stop running
-	// jobs. It is handed to each worker goroutine as a parameter —
-	// never stored on the engine — so cancellation stays attached to
-	// the call tree (ctxfirst contract).
-	baseCtx, abort := context.WithCancel(context.Background())
-	e := &engine{
+	return &engine{
 		jobs:       map[string]*job{},
+		idem:       map[string]*job{},
 		queue:      make(chan *job, queueDepth),
-		abort:      abort,
+		workers:    workers,
 		jobTimeout: jobTimeout,
 		maxTimeout: maxTimeout,
 		run:        run,
 		metrics:    m,
 		logger:     lg,
 	}
-	e.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+}
+
+// start launches the worker pool. The base context is cancelled by
+// abort to hard-stop running jobs. It is handed to each worker
+// goroutine as a parameter — never stored on the engine — so
+// cancellation stays attached to the call tree (ctxfirst contract).
+func (e *engine) start() {
+	baseCtx, abort := context.WithCancel(context.Background())
+	e.abort = abort
+	e.wg.Add(e.workers)
+	for i := 0; i < e.workers; i++ {
 		go e.worker(baseCtx)
 	}
-	return e
+}
+
+// journalObs routes journal-append observability to the server-level
+// registry and logger while keeping the caller's span (so injected
+// faults land on the job's trace). A background ctx is fine: appends
+// are never skipped on cancellation.
+func (e *engine) journalObs(ctx context.Context) context.Context {
+	return obs.WithLogger(obs.WithMetrics(ctx, e.metrics), e.logger)
+}
+
+// journalSubmit appends the job's admission record. No-op without a
+// journal.
+func (e *engine) journalSubmit(ctx context.Context, j *job) error {
+	if e.journal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(j.req)
+	if err != nil {
+		return err
+	}
+	return e.journal.Append(e.journalObs(ctx), durable.Record{
+		Type:    durable.RecSubmit,
+		JobID:   j.id,
+		IdemKey: j.req.IdempotencyKey,
+		Request: raw,
+		Attempt: j.attempts,
+	})
+}
+
+// journalState appends one state transition. No-op without a journal.
+func (e *engine) journalState(ctx context.Context, id string, st State, errMsg string, attempt int) error {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Append(e.journalObs(ctx), durable.Record{
+		Type:    durable.RecState,
+		JobID:   id,
+		State:   string(st),
+		Error:   errMsg,
+		Attempt: attempt,
+	})
+}
+
+// journalCheckpoint appends one completed identify level for the job.
+// No-op without a journal.
+func (e *engine) journalCheckpoint(ctx context.Context, id string, snap core.LevelSnapshot) error {
+	if e.journal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	if err := e.journal.Append(e.journalObs(ctx), durable.Record{
+		Type:       durable.RecCheckpoint,
+		JobID:      id,
+		Level:      snap.Level,
+		Checkpoint: raw,
+	}); err != nil {
+		return err
+	}
+	e.metrics.Counter("serve.checkpoints_journaled").Inc()
+	return nil
 }
 
 // Submit validates nothing (the handler already has), records the job
-// and enqueues it. release is the dataset reference to return when
-// the job reaches a terminal state; on submission failure Submit
-// releases it itself.
-func (e *engine) Submit(req JobRequest, release func()) (*job, error) {
+// and enqueues it; with a journal attached the admission is journaled
+// before Submit returns, so an acknowledged job survives a crash.
+// release is the dataset reference to return when the job reaches a
+// terminal state; on submission failure (and on an idempotent replay,
+// where the prior job holds its own reference) Submit releases it
+// itself.
+func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*job, error) {
 	j := &job{
 		req:      req,
 		state:    StateQueued,
@@ -148,12 +249,22 @@ func (e *engine) Submit(req JobRequest, release func()) (*job, error) {
 		tracer:   obs.NewTracer(),
 		release:  release,
 		done:     make(chan struct{}),
+		admitted: make(chan struct{}),
 	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		release()
 		return nil, ErrShuttingDown
+	}
+	if req.IdempotencyKey != "" {
+		if prev, ok := e.idem[req.IdempotencyKey]; ok {
+			e.mu.Unlock()
+			release()
+			e.metrics.Counter("serve.jobs_deduped").Inc()
+			e.logger.Info("job submission deduped", "job", prev.id, "idem_key", req.IdempotencyKey)
+			return prev, nil
+		}
 	}
 	e.seq++
 	j.id = fmt.Sprintf("job-%06d", e.seq)
@@ -167,7 +278,28 @@ func (e *engine) Submit(req JobRequest, release func()) (*job, error) {
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
+	if req.IdempotencyKey != "" {
+		e.idem[req.IdempotencyKey] = j
+	}
 	e.mu.Unlock()
+	if err := e.journalSubmit(ctx, j); err != nil {
+		// The job is already in the queue; poison it so the worker that
+		// dequeues it skips (terminal states are never run), and release
+		// its idempotency claim so a retry is not deduped onto a job
+		// that was never durably admitted.
+		j.mu.Lock()
+		j.finishLocked(StateCancelled, "submission not journaled: "+err.Error())
+		j.mu.Unlock()
+		close(j.admitted)
+		if req.IdempotencyKey != "" {
+			e.mu.Lock()
+			delete(e.idem, req.IdempotencyKey)
+			e.mu.Unlock()
+		}
+		e.metrics.Counter("serve.journal_errors").Inc()
+		return nil, fmt.Errorf("serve: journal submission: %w", err)
+	}
+	close(j.admitted)
 	e.metrics.Counter("serve.jobs_submitted").Inc()
 	e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
 	e.logger.Info("job queued", "job", j.id, "kind", req.Kind, "dataset", req.DatasetID)
@@ -202,10 +334,12 @@ func (e *engine) List() []JobStatus {
 }
 
 // Cancel requests cancellation: a queued job goes terminal
-// immediately; a running job has its context cancelled and goes
-// terminal when the pipeline unwinds to its next cooperative
-// checkpoint. Cancelling a terminal job is a no-op.
-func (e *engine) Cancel(id string) (JobStatus, error) {
+// immediately (journaled first, so the cancellation is durable before
+// it is acknowledged); a running job has its context cancelled and
+// goes terminal when the pipeline unwinds to its next cooperative
+// checkpoint (that transition is journaled by the worker). Cancelling
+// a terminal job is a no-op.
+func (e *engine) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	j, err := e.Job(id)
 	if err != nil {
 		return JobStatus{}, err
@@ -214,6 +348,11 @@ func (e *engine) Cancel(id string) (JobStatus, error) {
 	j.cancelWant = true
 	switch j.state {
 	case StateQueued:
+		if jerr := e.journalState(ctx, j.id, StateCancelled, "cancelled while queued", j.attempts); jerr != nil {
+			j.mu.Unlock()
+			e.metrics.Counter("serve.journal_errors").Inc()
+			return JobStatus{}, fmt.Errorf("serve: journal cancellation: %w", jerr)
+		}
 		// The worker that eventually dequeues it sees the terminal
 		// state and skips.
 		j.finishLocked(StateCancelled, "cancelled while queued")
@@ -222,6 +361,49 @@ func (e *engine) Cancel(id string) (JobStatus, error) {
 	}
 	j.mu.Unlock()
 	return j.status(), nil
+}
+
+// restore inserts a job recovered from the journal: terminal jobs
+// become queryable history; queued jobs re-enter the queue. The
+// recovery path runs before start, so insertion order is preserved.
+func (e *engine) restore(j *job) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrShuttingDown
+	}
+	if _, dup := e.jobs[j.id]; dup {
+		return fmt.Errorf("serve: restore: duplicate job id %s", j.id)
+	}
+	if j.admitted == nil {
+		// Recovered jobs were journaled in a previous life.
+		ch := make(chan struct{})
+		close(ch)
+		j.admitted = ch
+	}
+	if !j.state.Terminal() {
+		select {
+		case e.queue <- j:
+		default:
+			return fmt.Errorf("%w: %d recovered jobs queued", ErrQueueFull, cap(e.queue))
+		}
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	if key := j.req.IdempotencyKey; key != "" {
+		e.idem[key] = j
+	}
+	return nil
+}
+
+// setSeq raises the job-ID sequence to at least n, so IDs minted after
+// a recovery never collide with journaled ones.
+func (e *engine) setSeq(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > e.seq {
+		e.seq = n
+	}
 }
 
 // finishLocked moves the job to a terminal state. Caller holds j.mu.
@@ -270,8 +452,33 @@ func (e *engine) worker(baseCtx context.Context) {
 // runOne executes one dequeued job end to end. baseCtx is the
 // engine's hard-stop context, threaded in from the worker loop.
 func (e *engine) runOne(baseCtx context.Context, j *job) {
+	// Wait out the submission's journal append (Submit enqueues before
+	// it journals), so this job's records always follow its admission
+	// record and a poisoned submission is seen as terminal below.
+	<-j.admitted
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	attempt := j.attempts
+	j.mu.Unlock()
+
+	// Journal the start before the job observably runs. A job whose
+	// start cannot be journaled must not run: its work would be
+	// invisible to recovery, so it fails here instead.
+	if jerr := e.journalState(baseCtx, j.id, StateRunning, "", attempt); jerr != nil {
+		e.metrics.Counter("serve.journal_errors").Inc()
+		j.mu.Lock()
+		j.finishLocked(StateFailed, "start not journaled: "+jerr.Error())
+		j.mu.Unlock()
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.logger.Error("job failed", "job", j.id, "err", jerr)
+		return
+	}
+
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled in the journaling window
 		j.mu.Unlock()
 		return
 	}
@@ -305,7 +512,7 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 	sp.SetStr("kind", j.req.Kind)
 
 	e.metrics.Gauge("serve.jobs_running").Set(float64(e.running(+1)))
-	e.logger.Info("job started", "job", j.id, "kind", j.req.Kind)
+	e.logger.Info("job started", "job", j.id, "kind", j.req.Kind, "attempt", attempt)
 	res, err := e.invoke(ctx, j)
 	sp.End()
 	e.metrics.Gauge("serve.jobs_running").Set(float64(e.running(-1)))
@@ -313,22 +520,51 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 		Observe(float64(time.Since(j.started).Milliseconds()))
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	cancelWant := j.cancelWant
+	j.mu.Unlock()
+	var final State
+	var msg string
 	switch {
 	case err == nil:
+		final = StateDone
+	case cancelWant || errors.Is(err, context.Canceled):
+		// DELETE /jobs/{id} or shutdown: both surface as cancelled.
+		final, msg = StateCancelled, err.Error()
+	default:
+		final, msg = StateFailed, err.Error()
+	}
+	// Journal the outcome before it becomes observable. A completed job
+	// whose "done" cannot be journaled is not acknowledged as done —
+	// recovery would re-run it and a client could see the same job
+	// finish twice — so it degrades to failed with the journal error.
+	if jerr := e.journalState(ctx, j.id, final, msg, attempt); jerr != nil {
+		e.metrics.Counter("serve.journal_errors").Inc()
+		if final == StateDone {
+			final, msg, res = StateFailed, "result not journaled: "+jerr.Error(), nil
+			if j2 := e.journalState(ctx, j.id, final, msg, attempt); j2 != nil {
+				e.logger.Error("journal append failed", "job", j.id, "err", j2)
+			}
+		} else {
+			e.logger.Error("journal append failed", "job", j.id, "err", jerr)
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch final {
+	case StateDone:
 		j.result = res
 		j.finishLocked(StateDone, "")
 		e.metrics.Counter("serve.jobs_done").Inc()
 		e.logger.Info("job done", "job", j.id)
-	case j.cancelWant || errors.Is(err, context.Canceled):
-		// DELETE /jobs/{id} or shutdown: both surface as cancelled.
-		j.finishLocked(StateCancelled, err.Error())
+	case StateCancelled:
+		j.finishLocked(StateCancelled, msg)
 		e.metrics.Counter("serve.jobs_cancelled").Inc()
-		e.logger.Info("job cancelled", "job", j.id, "err", err)
+		e.logger.Info("job cancelled", "job", j.id, "err", msg)
 	default:
-		j.finishLocked(StateFailed, err.Error())
+		j.finishLocked(StateFailed, msg)
 		e.metrics.Counter("serve.jobs_failed").Inc()
-		e.logger.Error("job failed", "job", j.id, "err", err)
+		e.logger.Error("job failed", "job", j.id, "err", msg)
 	}
 }
 

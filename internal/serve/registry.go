@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/durable"
 )
 
 // Registry errors, mapped to HTTP statuses by the handlers.
@@ -39,6 +41,11 @@ type Registry struct {
 	maxBytes int64
 	clock    int64 // LRU tick, bumped on every touch
 	entries  map[string]*regEntry
+	// store, when non-nil, is the durability spill area: every admitted
+	// dataset is written to disk (canonical CSV + identity sidecar)
+	// before the admission returns, and evicted/deleted datasets are
+	// unspilled. Nil is the in-memory mode with no spill work at all.
+	store *durable.Store
 }
 
 type regEntry struct {
@@ -83,7 +90,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // returns the existing entry. Size violations surface
 // dataset.ErrTooLarge; a full registry with no evictable entry
 // surfaces ErrRegistryFull.
-func (rg *Registry) Put(r io.Reader, name, target string, protected []string) (DatasetInfo, error) {
+func (rg *Registry) Put(ctx context.Context, r io.Reader, name, target string, protected []string) (DatasetInfo, error) {
 	h := sha256.New()
 	// The target and protected set are part of the identity: the same
 	// CSV parsed with a different label column is a different dataset.
@@ -94,13 +101,13 @@ func (rg *Registry) Put(r io.Reader, name, target string, protected []string) (D
 		return DatasetInfo{}, err
 	}
 	id := "ds-" + hex.EncodeToString(h.Sum(nil))[:16]
-	return rg.admit(id, name, d, cw.n)
+	return rg.admit(ctx, id, name, d, cw.n, true)
 }
 
 // PutDataset admits an already-materialized dataset (a remedy job's
 // output). The ID is derived from the canonical CSV serialization, so
 // identical results dedup the same way uploads do.
-func (rg *Registry) PutDataset(d *dataset.Dataset, name string) (DatasetInfo, error) {
+func (rg *Registry) PutDataset(ctx context.Context, d *dataset.Dataset, name string) (DatasetInfo, error) {
 	h := sha256.New()
 	var protected []string
 	for _, a := range d.Schema.Attrs {
@@ -113,10 +120,21 @@ func (rg *Registry) PutDataset(d *dataset.Dataset, name string) (DatasetInfo, er
 		return DatasetInfo{}, err
 	}
 	id := "ds-" + hex.EncodeToString(h.Sum(nil))[:16]
-	return rg.admit(id, name, d, 0)
+	return rg.admit(ctx, id, name, d, 0, true)
 }
 
-func (rg *Registry) admit(id, name string, d *dataset.Dataset, bytes int64) (DatasetInfo, error) {
+// Restore re-admits a dataset recovered from the durable spill area
+// under its original content-derived ID, without re-spilling the bytes
+// that were just read from disk.
+func (rg *Registry) Restore(ctx context.Context, id, name string, d *dataset.Dataset, bytes int64) (DatasetInfo, error) {
+	return rg.admit(ctx, id, name, d, bytes, false)
+}
+
+// admit inserts d under id. With spill set (every live admission) the
+// dataset is spilled to the durable store — if one is attached —
+// before the admission is acknowledged, so a crash after a 201 can
+// always restore the upload; a failed spill fails the admission.
+func (rg *Registry) admit(ctx context.Context, id, name string, d *dataset.Dataset, bytes int64, spill bool) (DatasetInfo, error) {
 	var protected []string
 	for _, a := range d.Schema.Attrs {
 		if a.Protected {
@@ -130,8 +148,16 @@ func (rg *Registry) admit(id, name string, d *dataset.Dataset, bytes int64) (Dat
 		e.lastUsed = rg.clock
 		return rg.infoLocked(e), nil
 	}
-	if err := rg.evictLocked(); err != nil {
+	if err := rg.evictLocked(ctx); err != nil {
 		return DatasetInfo{}, err
+	}
+	if spill && rg.store != nil {
+		meta := durable.DatasetMeta{
+			ID: id, Name: name, Target: d.Schema.Target, Protected: protected, Bytes: bytes,
+		}
+		if err := rg.store.SpillDataset(ctx, meta, d.WriteCSV); err != nil {
+			return DatasetInfo{}, fmt.Errorf("serve: spill dataset: %w", err)
+		}
 	}
 	e := &regEntry{
 		info: DatasetInfo{
@@ -155,8 +181,9 @@ func (rg *Registry) admit(id, name string, d *dataset.Dataset, bytes int64) (Dat
 }
 
 // evictLocked makes room for one more entry, dropping the
-// least-recently-used unreferenced dataset if the registry is full.
-func (rg *Registry) evictLocked() error {
+// least-recently-used unreferenced dataset — and its spilled files —
+// if the registry is full.
+func (rg *Registry) evictLocked(ctx context.Context) error {
 	if len(rg.entries) < rg.capacity {
 		return nil
 	}
@@ -174,6 +201,13 @@ func (rg *Registry) evictLocked() error {
 		return fmt.Errorf("%w: %d datasets resident, all referenced", ErrRegistryFull, len(rg.entries))
 	}
 	delete(rg.entries, victim)
+	if rg.store != nil {
+		if err := rg.store.RemoveDataset(ctx, victim); err != nil {
+			// The entry is gone either way; an orphaned spill only costs
+			// disk and is skipped by recovery once its sidecar is removed.
+			return fmt.Errorf("serve: unspill evicted dataset: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -258,9 +292,9 @@ func (rg *Registry) Acquire(id string) (*dataset.Dataset, func(), error) {
 	return e.data, release, nil
 }
 
-// Delete removes an unreferenced dataset; deleting one that live jobs
-// still hold fails with ErrDatasetBusy.
-func (rg *Registry) Delete(id string) error {
+// Delete removes an unreferenced dataset (and its spilled files);
+// deleting one that live jobs still hold fails with ErrDatasetBusy.
+func (rg *Registry) Delete(ctx context.Context, id string) error {
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
 	e, ok := rg.entries[id]
@@ -271,6 +305,11 @@ func (rg *Registry) Delete(id string) error {
 		return fmt.Errorf("%w: %s has %d references", ErrDatasetBusy, id, e.refs)
 	}
 	delete(rg.entries, id)
+	if rg.store != nil {
+		if err := rg.store.RemoveDataset(ctx, id); err != nil {
+			return fmt.Errorf("serve: unspill deleted dataset: %w", err)
+		}
+	}
 	return nil
 }
 

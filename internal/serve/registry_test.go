@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func regCSV(n int) string {
 
 func mustPut(t *testing.T, rg *Registry, body, name string) DatasetInfo {
 	t.Helper()
-	info, err := rg.Put(strings.NewReader(body), name, "label", []string{"race"})
+	info, err := rg.Put(context.Background(), strings.NewReader(body), name, "label", []string{"race"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRegistryContentIdentity(t *testing.T) {
 	}
 
 	// Same bytes under a different protected set is a different dataset.
-	c, err := rg.Put(strings.NewReader(regCSV(10)), "c", "label", []string{"sex"})
+	c, err := rg.Put(context.Background(), strings.NewReader(regCSV(10)), "c", "label", []string{"sex"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,12 +59,12 @@ func TestRegistryContentIdentity(t *testing.T) {
 
 func TestRegistryUploadCaps(t *testing.T) {
 	rg := NewRegistry(8, 5, 0)
-	if _, err := rg.Put(strings.NewReader(regCSV(6)), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
+	if _, err := rg.Put(context.Background(), strings.NewReader(regCSV(6)), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
 		t.Fatalf("row cap err = %v", err)
 	}
 	body := regCSV(6)
 	rg = NewRegistry(8, 0, int64(len(body)-1))
-	if _, err := rg.Put(strings.NewReader(body), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
+	if _, err := rg.Put(context.Background(), strings.NewReader(body), "", "label", []string{"race"}); !errors.Is(err, dataset.ErrTooLarge) {
 		t.Fatalf("byte cap err = %v", err)
 	}
 }
@@ -100,7 +101,7 @@ func TestRegistryEvictionRespectsRefs(t *testing.T) {
 	}
 
 	// Both pinned: a third dataset cannot be admitted.
-	if _, err := rg.Put(strings.NewReader(regCSV(6)), "c", "label", []string{"race"}); !errors.Is(err, ErrRegistryFull) {
+	if _, err := rg.Put(context.Background(), strings.NewReader(regCSV(6)), "c", "label", []string{"race"}); !errors.Is(err, ErrRegistryFull) {
 		t.Fatalf("pinned-full err = %v", err)
 	}
 
@@ -127,14 +128,14 @@ func TestRegistryDeleteBusy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rg.Delete(a.ID); !errors.Is(err, ErrDatasetBusy) {
+	if err := rg.Delete(context.Background(), a.ID); !errors.Is(err, ErrDatasetBusy) {
 		t.Fatalf("busy delete err = %v", err)
 	}
 	release()
-	if err := rg.Delete(a.ID); err != nil {
+	if err := rg.Delete(context.Background(), a.ID); err != nil {
 		t.Fatalf("delete after release: %v", err)
 	}
-	if err := rg.Delete(a.ID); !errors.Is(err, ErrDatasetNotFound) {
+	if err := rg.Delete(context.Background(), a.ID); !errors.Is(err, ErrDatasetNotFound) {
 		t.Fatalf("double delete err = %v", err)
 	}
 }
@@ -142,11 +143,11 @@ func TestRegistryDeleteBusy(t *testing.T) {
 func TestRegistryPutDataset(t *testing.T) {
 	rg := NewRegistry(4, 0, 0)
 	d := synth.CompasN(100, 1)
-	a, err := rg.PutDataset(d, "derived")
+	a, err := rg.PutDataset(context.Background(), d, "derived")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := rg.PutDataset(d, "derived-again")
+	b, err := rg.PutDataset(context.Background(), d, "derived-again")
 	if err != nil {
 		t.Fatal(err)
 	}

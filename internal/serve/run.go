@@ -149,6 +149,20 @@ func (s *Server) runJob(ctx context.Context, j *job) (any, error) {
 	}
 	defer release()
 
+	if s.store != nil && (j.req.Kind == "identify" || j.req.Kind == "remedy") {
+		// Resume from the checkpoints a crashed attempt journaled (empty
+		// on a first life). New checkpoints are cut per completed lattice
+		// level — but only for sequential traversals: OnLevel forces the
+		// sequential path, and a request that asked for Workers > 1 keeps
+		// its parallelism instead of checkpointing.
+		p.identify.Resume = j.resume
+		if p.identify.Workers <= 1 {
+			p.identify.OnLevel = func(ctx context.Context, snap core.LevelSnapshot) error {
+				return s.engine.journalCheckpoint(ctx, j.id, snap)
+			}
+		}
+	}
+
 	switch j.req.Kind {
 	case "identify":
 		return s.runIdentify(ctx, d, p)
@@ -207,7 +221,7 @@ func (s *Server) runRemedy(ctx context.Context, d *dataset.Dataset, p jobParams,
 	if err2 != nil {
 		return nil, err2
 	}
-	info, err := s.registry.PutDataset(out, srcID+"-remedied-"+string(rep.Technique))
+	info, err := s.registry.PutDataset(ctx, out, srcID+"-remedied-"+string(rep.Technique))
 	if err != nil {
 		return nil, fmt.Errorf("registering remedied dataset: %w", err)
 	}

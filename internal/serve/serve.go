@@ -35,6 +35,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	// run without a deadline.
 	JobTimeout    time.Duration
 	MaxJobTimeout time.Duration
+	// MaxAttempts caps how many lives one job gets across crash
+	// recoveries (default 3): a job found running in the journal is
+	// re-queued with its attempt counter bumped until the budget is
+	// spent, then marked failed. Only meaningful with a durable store.
+	MaxAttempts int
 	// Logger and Metrics are the server-level observability handles;
 	// nil means a silent logger and a fresh registry.
 	Logger  *obs.Logger
@@ -84,24 +90,28 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobTimeout == 0 {
 		c.MaxJobTimeout = c.JobTimeout
 	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
 	return c
 }
 
-// Server is the remedyd application: registry + engine + handlers.
+// Server is the remedyd application: registry + engine + handlers,
+// plus an optional durable store (journal + dataset spill).
 type Server struct {
 	cfg      Config
 	registry *Registry
 	engine   *engine
 	metrics  *obs.Registry
 	logger   *obs.Logger
+	store    *durable.Store
 }
 
-// New builds a server and starts its worker pool. Callers mount
-// Handler on an http.Server and call Shutdown when done.
-func New(cfg Config) *Server {
+// newServer builds the registry and engine without starting workers.
+func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -112,7 +122,33 @@ func New(cfg Config) *Server {
 	s.engine = newEngine(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobTimeout,
 		func(ctx context.Context, j *job) (any, error) { return s.runJob(ctx, j) },
 		s.metrics, s.logger)
+	s.engine.maxAttempts = cfg.MaxAttempts
 	return s
+}
+
+// New builds an in-memory server and starts its worker pool. Callers
+// mount Handler on an http.Server and call Shutdown when done. State
+// does not survive a restart; see NewDurable for the crash-safe mode.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.engine.start()
+	return s
+}
+
+// NewDurable builds a crash-safe server on the given store: recovery
+// replays the journal and re-loads spilled datasets before any worker
+// runs, then every dataset admission and job transition is made
+// durable before it is acknowledged. The store's journal stays open
+// for the server's lifetime; Close the store after Shutdown.
+func NewDurable(ctx context.Context, cfg Config, store *durable.Store) (*Server, error) {
+	s := newServer(cfg)
+	s.store = store
+	s.registry.store = store
+	if err := s.recover(ctx); err != nil {
+		return nil, err
+	}
+	s.engine.start()
+	return s, nil
 }
 
 // Registry exposes the dataset registry (tests and embedding callers).

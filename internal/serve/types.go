@@ -56,14 +56,20 @@ type DatasetDetail struct {
 // covers pipeline errors, injected faults, worker panics, and the
 // per-job deadline. Terminal states (done/failed/cancelled) never
 // transition again.
+//
+// One state exists only in durable journals: a job found running when
+// a crashed server's journal is replayed is recorded as interrupted,
+// then immediately re-queued (attempt counter bumped) or failed once
+// its attempt budget is spent. A live engine never reports it.
 type State string
 
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCancelled   State = "cancelled"
+	StateInterrupted State = "interrupted"
 )
 
 // Terminal reports whether the state is final.
@@ -107,6 +113,12 @@ type JobRequest struct {
 	// TimeoutMS overrides the server's default per-job deadline; it is
 	// clamped to the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// IdempotencyKey makes the submission safe to retry: a second POST
+	// carrying the same key returns the job the first one created
+	// instead of enqueuing a duplicate. The retrying Client fills it
+	// automatically; keys survive restarts via the durable journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // JobStatus is the engine's public view of one job, returned by POST
@@ -129,6 +141,10 @@ type JobStatus struct {
 	EnqueuedAt time.Time  `json:"enqueued_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Attempts counts how many times the job has been re-queued after a
+	// crash interrupted it (0 for a job on its first run).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // RegionJSON is one IBS member in an IdentifyResult.

@@ -29,6 +29,12 @@ go test -race ./internal/serve/... ./cmd/remedyd/...
 go test -race -run 'TestE2EIdentifyRemedy|TestServeEndToEnd' -count=1 \
     ./internal/serve/ ./cmd/remedyd/
 
+echo "== durable: vet + race chaos tests (make durable-check)"
+go vet ./internal/durable/...
+go test -race ./internal/durable/...
+go test -race -count=1 -run 'Durable|Crash|Recovery|Restart|Retry|Circuit' \
+    ./internal/serve/ ./cmd/remedyd/
+
 echo "== go test -race ./..."
 go test -race ./...
 
