@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check fuzz
+.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check bench fuzz
 
 all: check
 
@@ -68,9 +68,27 @@ durable-check:
 	$(GO) test -race -count=1 -run 'Durable|Crash|Recovery|Restart|Retry|Circuit' \
 	    ./internal/serve/ ./cmd/remedyd/
 
+# cluster-check gates the fleet layer: replication, rank-ordered
+# leader promotion, term fencing, dataset sharding, and work stealing,
+# all under the race detector — headlined by the chaos failover test
+# (leader killed mid-identify via the fault registry; the fleet's IBS
+# must be byte-identical to a single-node run, with the job completing
+# exactly once and no goroutine leaked after drain) and the cmd-level
+# two-real-nodes-over-TCP failover test.
+cluster-check:
+	$(GO) vet ./internal/cluster/...
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -count=1 -run 'Cluster' ./cmd/remedyd/
+
+# bench regenerates the committed BENCH_*.json perf artifact (see
+# EXPERIMENTS.md "Benchmark trajectory"). Usage: make bench OUT=BENCH_7.json
+OUT ?= BENCH_dev.json
+bench:
+	sh scripts/bench.sh $(OUT)
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzJournalReplay -fuzztime 30s
 
-check: build vet lint obs-check serve-check durable-check race
+check: build vet lint obs-check serve-check durable-check cluster-check race
 	@echo "all checks passed"

@@ -29,6 +29,17 @@
 // work from the last completed lattice level) until -max-attempts is
 // spent. -journal-sync trades append throughput for power-loss
 // durability.
+//
+// With -node-id and -peers the server joins a replicated fleet
+// (requires -data-dir): the leader streams its journal to followers,
+// followers forward client traffic to the leader and steal queued
+// jobs when idle, and a silent leader is replaced by deterministic
+// rank-ordered promotion after -lease ticks of -tick each. See
+// README.md "Running a cluster" for a walkthrough:
+//
+//	remedyd -addr localhost:8081 -data-dir /var/lib/remedyd-a \
+//	    -node-id node-a \
+//	    -peers node-a=http://localhost:8081,node-b=http://localhost:8082
 package main
 
 import (
@@ -41,9 +52,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -56,6 +69,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "remedyd:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers decodes the -peers roster ("id=url,id=url"). An empty
+// flag is an empty roster; anything malformed is a startup error, not
+// a node that silently runs alone.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := map[string]string{}
+	for _, entry := range strings.Split(s, ",") {
+		id, u, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("bad -peers entry %q, want id=url", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers node ID %q", id)
+		}
+		peers[id] = u
+	}
+	return peers, nil
 }
 
 // run builds the server from argv and serves until ctx is cancelled
@@ -79,11 +113,30 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		dataDir      = fs.String("data-dir", "", "durability directory: journal job state and spill datasets here, recover on restart (empty = in-memory only)")
 		journalSync  = fs.Bool("journal-sync", false, "fsync the job journal after every append (slower, survives power loss)")
 		maxAttempts  = fs.Int("max-attempts", 3, "run budget per job across restarts; an interrupted job past it is marked failed")
+		nodeID       = fs.String("node-id", "", "this node's ID in a replicated fleet (requires -peers and -data-dir)")
+		peersFlag    = fs.String("peers", "", "fleet roster as id=url,id=url — must include this node's own entry")
+		lease        = fs.Int("lease", 3, "leader lease in ticks; a follower promotes after a rank-staggered multiple of this much silence")
+		tick         = fs.Duration("tick", 500*time.Millisecond, "cluster tick interval (replication, lease, and steal cadence)")
+		stealMax     = fs.Int("steal-max", 1, "stolen jobs a follower runs concurrently (negative disables work stealing)")
 		verbose      = fs.Bool("v", false, "info-level structured logging to stderr")
 		veryVerb     = fs.Bool("vv", false, "debug-level structured logging to stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if *nodeID != "" {
+		if *dataDir == "" {
+			return errors.New("-node-id requires -data-dir: a fleet member must hold a durable journal")
+		}
+		if _, ok := peers[*nodeID]; !ok {
+			return fmt.Errorf("-peers must include this node's own entry %q", *nodeID)
+		}
+	} else if len(peers) > 0 {
+		return errors.New("-peers requires -node-id")
 	}
 
 	level := obs.LevelWarn
@@ -103,22 +156,47 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
 		MaxAttempts:    *maxAttempts,
+		NodeID:         *nodeID,
 		Logger:         lg,
 	}
 	var srv *serve.Server
+	var node *cluster.Node
 	if *dataDir != "" {
-		store, err := durable.Open(ctx, *dataDir, *journalSync)
-		if err != nil {
-			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		store, serr := durable.Open(ctx, *dataDir, *journalSync)
+		if serr != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, serr)
 		}
 		defer func() {
 			if cerr := store.Close(); cerr != nil {
 				lg.Error("data dir close failed", "err", cerr)
 			}
 		}()
-		srv, err = serve.NewDurable(ctx, cfg, store)
-		if err != nil {
-			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		if *nodeID != "" {
+			// Fleet member: start as a standby follower (no job
+			// re-queueing; the fleet's leader owns the queue) and let the
+			// cluster node decide the role.
+			srv, serr = serve.NewFollower(ctx, cfg, store)
+			if serr != nil {
+				return fmt.Errorf("recover from %s: %w", *dataDir, serr)
+			}
+			node, serr = cluster.New(ctx, cluster.Config{
+				ID:         *nodeID,
+				Peers:      peers,
+				LeaseTicks: *lease,
+				StealMax:   *stealMax,
+				Logger:     lg,
+			}, srv)
+			if serr != nil {
+				return fmt.Errorf("join fleet: %w", serr)
+			}
+			role, term, _ := node.Role()
+			lg.Info("cluster enabled", "node", *nodeID, "peers", len(peers),
+				"role", role, "term", term, "lease-ticks", *lease, "tick", *tick)
+		} else {
+			srv, serr = serve.NewDurable(ctx, cfg, store)
+			if serr != nil {
+				return fmt.Errorf("recover from %s: %w", *dataDir, serr)
+			}
 		}
 		lg.Info("durability enabled", "data-dir", *dataDir,
 			"journal-sync", *journalSync, "max-attempts", *maxAttempts)
@@ -126,11 +204,19 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		srv = serve.New(cfg)
 	}
 
+	handler := http.Handler(srv.Handler())
+	if node != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", srv.Handler())
+		handler = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	lg.Info("remedyd serving", "addr", ln.Addr().String(),
 		"workers", *workers, "queue", *queue)
 	fmt.Fprintf(errw, "remedyd listening on %s\n", ln.Addr().String())
@@ -141,15 +227,43 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// The cluster heartbeat: every tick the node replicates, renews its
+	// lease (leader) or counts silence toward promotion (follower), and
+	// steals work when idle. Stops with ctx so shutdown sees no new
+	// ticks.
+	tickDone := make(chan struct{})
+	if node != nil {
+		go func() {
+			defer close(tickDone)
+			tk := time.NewTicker(*tick)
+			defer tk.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tk.C:
+					node.Tick(ctx)
+				}
+			}
+		}()
+	} else {
+		close(tickDone)
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop intake, drain jobs within the budget,
-	// then close the HTTP server (bounded by the same budget).
+	// Graceful shutdown: stop ticking and drain stolen runs, then stop
+	// intake and drain local jobs within the budget, then close the
+	// HTTP server (bounded by the same budget).
 	lg.Info("shutting down", "drain", *drainTimeout)
+	<-tickDone
+	if node != nil {
+		node.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := srv.Shutdown(drainCtx)

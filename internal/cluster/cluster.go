@@ -1,0 +1,367 @@
+// Package cluster turns a fleet of remedyd nodes into one replicated
+// service on nothing but the standard library and the repo's own
+// layers: the durable journal becomes a positional replicated log, a
+// deterministic lease elects leaders without a wall clock, datasets
+// shard across the fleet by content-hash ownership, and idle followers
+// steal queued work from the leader.
+//
+// # Design
+//
+// One node leads; the rest follow. The leader is the only node whose
+// engine serves API traffic — followers forward requests to it — and
+// the only node that appends original records to its journal. Each
+// leader tick streams the journal's new records to every follower over
+// POST /cluster/replicate; a follower applies them positionally (its
+// record i is the leader's record i, always) via AppendReplicated, so
+// a follower's journal file is byte-identical to the leader's prefix
+// it has received.
+//
+// Leadership is fenced by terms recorded in the journal itself
+// (durable.RecTerm). Every replication and steal request carries the
+// sender's term; a receiver that has witnessed a higher term rejects
+// the request, and a leader whose send is rejected steps down. Terms
+// make split-brain harmless rather than impossible: a deposed or
+// diverged node refuses to rejoin the stream — positional replication
+// cannot prove which of two forked suffixes is right — and reports
+// not-ready until a restart rejoins it through the follower recovery
+// path, which replays whatever the fleet replicated to it.
+//
+// There is no clock anywhere in the control flow. All periodic work —
+// heartbeats, lease accounting, promotion, dataset pushes, steal
+// attempts, stolen-work timeouts — happens in Tick, which the caller
+// drives from a timer (cmd/remedyd) or by hand (tests). A follower
+// counts the ticks since it last heard a replication request; when the
+// silence exceeds its rank-staggered share of the lease it appends the
+// next term's RecTerm to its own journal and promotes, replaying the
+// replicated log into a live engine (serve.Server.Promote). Ranks
+// stagger deterministically — the first follower in node-ID order
+// waits one lease, the second two — so exactly one node moves first.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Node roles. A node is a follower from birth until it promotes;
+// deposed is terminal until the process restarts.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+	RoleDeposed  = "deposed"
+)
+
+// Config wires one node into the fleet. Zero values take the
+// documented defaults.
+type Config struct {
+	// ID is this node's name; it must be a key of Peers.
+	ID string
+	// Peers maps every fleet member's node ID — this node included —
+	// to its base URL. All nodes must agree on this map; it is the
+	// election roster and the shard ring.
+	Peers map[string]string
+	// LeaseTicks is the lease length in ticks (default 3): a follower
+	// of rank r among the non-leader node IDs promotes itself after
+	// (r+1)*LeaseTicks consecutive silent ticks.
+	LeaseTicks int
+	// StealMax caps the stolen jobs a follower runs concurrently
+	// (default 1; negative disables stealing).
+	StealMax int
+	// StealTicks is how many leader ticks a stolen job may stay
+	// unreported before it is re-queued (default 10*LeaseTicks).
+	StealTicks int
+	// BatchMax bounds the records in one replication send (default
+	// 256); a further-behind follower catches up over several ticks.
+	BatchMax int
+	// Retry is the inter-node client policy (zero-value fields take
+	// serve.RetryPolicy's defaults).
+	Retry serve.RetryPolicy
+	// HTTP overrides the transport for inter-node calls and follower
+	// forwarding (tests inject httptest clients); nil means the
+	// default client.
+	HTTP *http.Client
+	// Logger receives the node's log lines; nil is silent.
+	Logger *obs.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTicks == 0 {
+		c.LeaseTicks = 3
+	}
+	if c.StealMax == 0 {
+		c.StealMax = 1
+	}
+	if c.StealTicks == 0 {
+		c.StealTicks = 10 * c.LeaseTicks
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
+	return c
+}
+
+// peerState is the leader's view of one follower.
+type peerState struct {
+	id     string
+	url    string
+	client *serve.Client
+	// known is set once a response told us how much of the log the
+	// peer holds; until then sends are pure heartbeats (no records),
+	// so a fresh leader never re-streams a log the peer already has.
+	known bool
+	acked uint64
+}
+
+// Node is one fleet member: the replication/election state machine
+// wrapped around a serve.Server. It implements serve.ClusterView.
+type Node struct {
+	cfg     Config
+	srv     *serve.Server
+	journal *durable.Journal
+	metrics *obs.Registry
+	logger  *obs.Logger
+
+	mu       sync.Mutex
+	role     string
+	term     uint64
+	leader   string // node ID of the current leader ("" unknown)
+	missed   int    // follower: consecutive ticks without a replication request
+	peers    map[string]*peerState
+	stolen   map[string]int  // leader: outstanding stolen job → silent ticks
+	pushed   map[string]bool // leader: dataset IDs already pushed to their shard owner
+	inflight int             // follower: stolen jobs executing locally
+
+	// baseCtx bounds every background stolen-job run; Close cancels it
+	// and waits for wg, so a drained node leaks no goroutines. Stolen
+	// runs outlive the steal request that started them, so their bound
+	// is the node's lifetime, not any caller's.
+	baseCtx context.Context //lint:allow ctxfirst node-lifetime bound for background stolen-job runs; Close cancels it
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New wires srv into the fleet. The server must have a durable store
+// (cluster nodes are built with serve.NewFollower). New attaches the
+// cluster view, the dataset fetch-on-miss hook, and the forwarding
+// client, then bootstraps: a journal that already witnessed a term
+// starts as a follower of that term's leader, and a brand-new fleet
+// (term zero everywhere) elects the lowest node ID immediately instead
+// of waiting out a lease.
+func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("cluster: node ID is required")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("cluster: node %q is not in the peer map", cfg.ID)
+	}
+	if srv.Store() == nil {
+		return nil, errors.New("cluster: a cluster node needs a durable store")
+	}
+	n := &Node{
+		cfg:     cfg,
+		srv:     srv,
+		journal: srv.Store().Journal(),
+		metrics: srv.Metrics(),
+		logger:  cfg.Logger.Scope("cluster"),
+		role:    RoleFollower,
+		peers:   make(map[string]*peerState, len(cfg.Peers)),
+		stolen:  make(map[string]int),
+		pushed:  make(map[string]bool),
+	}
+	n.baseCtx, n.cancel = context.WithCancel(context.Background())
+	n.term, n.leader = srv.RecoveredTerm()
+	for id, u := range cfg.Peers {
+		if id == cfg.ID {
+			continue
+		}
+		c := serve.NewRetryingClient(u, cfg.Retry)
+		c.HTTP = cfg.HTTP
+		n.peers[id] = &peerState{id: id, url: u, client: c}
+	}
+	srv.SetCluster(n)
+	srv.SetDatasetFetcher(n.fetchDataset)
+	if cfg.HTTP != nil {
+		srv.SetForwardClient(cfg.HTTP)
+	}
+	n.metrics.Gauge("cluster.leader_term").Set(float64(n.term))
+	if n.term == 0 && n.nodeIDs()[0] == cfg.ID {
+		if err := n.promote(ctx); err != nil {
+			n.cancel()
+			return nil, fmt.Errorf("cluster: bootstrap election: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// nodeIDs returns every fleet member's ID in sorted order — the
+// deterministic roster that election ranks and shard ownership hash
+// against.
+func (n *Node) nodeIDs() []string {
+	ids := make([]string, 0, len(n.cfg.Peers))
+	for id := range n.cfg.Peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Role implements serve.ClusterView.
+func (n *Node) Role() (string, uint64, string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.term, n.leader
+}
+
+// LeaderURL implements serve.ClusterView: the base URL follower
+// traffic forwards to, "" when this node leads or the leader is
+// unknown.
+func (n *Node) LeaderURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleLeader || n.leader == "" || n.leader == n.cfg.ID {
+		return ""
+	}
+	return n.cfg.Peers[n.leader]
+}
+
+// Tick drives all of the node's periodic work: a leader renews its
+// lease by replicating (heartbeats included), pushes dataset shards,
+// and re-queues overdue stolen jobs; a follower counts the silence,
+// promotes itself past its share of the lease, and otherwise tries to
+// steal queued work. Tick is not reentrant — one caller drives it,
+// from a timer loop (cmd/remedyd) or by hand (tests). A deposed node
+// ticks as a no-op: restart to rejoin.
+func (n *Node) Tick(ctx context.Context) {
+	ctx = obs.WithLogger(obs.WithMetrics(ctx, n.metrics), n.logger)
+	n.mu.Lock()
+	role := n.role
+	n.mu.Unlock()
+	switch role {
+	case RoleLeader:
+		n.tickLeader(ctx)
+	case RoleFollower:
+		n.tickFollower(ctx)
+	}
+}
+
+func (n *Node) tickLeader(ctx context.Context) {
+	if err := faults.FireCtx(ctx, faults.ClusterLease, n.cfg.ID); err != nil {
+		// A stalled leader: local state is intact but nothing goes out,
+		// so followers start counting missed ticks.
+		n.logger.Warn("lease renewal suppressed", "err", err)
+		return
+	}
+	n.expireStolen(ctx)
+	n.pushDatasets(ctx)
+	n.replicateAll(ctx)
+}
+
+func (n *Node) tickFollower(ctx context.Context) {
+	n.mu.Lock()
+	n.missed++
+	missed, term, leader := n.missed, n.term, n.leader
+	inflight := n.inflight
+	n.mu.Unlock()
+
+	if missed > n.promotionThreshold(leader) {
+		n.logger.Warn("leader silent past lease; promoting",
+			"missed_ticks", missed, "leader", leader, "term", term)
+		if err := n.promote(ctx); err != nil {
+			n.logger.Error("promotion failed", "err", err)
+		}
+		return
+	}
+	if n.cfg.StealMax < 0 || inflight >= n.cfg.StealMax || leader == "" || leader == n.cfg.ID {
+		return
+	}
+	n.trySteal(ctx, term, leader)
+}
+
+// promotionThreshold is the silent-tick budget before this follower
+// moves: rank r among the node IDs with the current leader excluded
+// waits (r+1) leases, so successors promote in deterministic order and
+// the first one's heartbeats reset everyone behind it.
+func (n *Node) promotionThreshold(leader string) int {
+	rank := 0
+	for _, id := range n.nodeIDs() {
+		if id == leader {
+			continue
+		}
+		if id == n.cfg.ID {
+			break
+		}
+		rank++
+	}
+	return (rank + 1) * n.cfg.LeaseTicks
+}
+
+// promote makes this node the next term's leader. The RecTerm record
+// is appended before anything else — it is the new term's fencing
+// token, and every record promotion appends afterwards (interruption
+// bumps, re-queues) is already under it. Then the replicated log is
+// replayed into a live engine and the node goes ready.
+func (n *Node) promote(ctx context.Context) error {
+	n.mu.Lock()
+	newTerm := n.term + 1
+	n.mu.Unlock()
+	if err := n.journal.Append(ctx, durable.Record{
+		Type: durable.RecTerm, Term: newTerm, Leader: n.cfg.ID,
+	}); err != nil {
+		return fmt.Errorf("cluster: journal term record: %w", err)
+	}
+	n.mu.Lock()
+	n.term, n.leader, n.role, n.missed = newTerm, n.cfg.ID, RoleLeader, 0
+	for _, p := range n.peers {
+		p.known = false // re-discover every peer's position via heartbeat
+	}
+	n.mu.Unlock()
+	n.metrics.Counter("cluster.promotions").Inc()
+	n.metrics.Gauge("cluster.leader_term").Set(float64(newTerm))
+	n.logger.Info("promoted to leader", "term", newTerm)
+	if err := n.srv.Promote(ctx); err != nil {
+		return fmt.Errorf("cluster: promote node %s: %w", n.cfg.ID, err)
+	}
+	return nil
+}
+
+// depose retires this node from the stream permanently: a higher term
+// exists, or this node's log diverged from its leader's. Positional
+// replication cannot reconcile a forked suffix, so the node stops
+// participating and reports not-ready; a restart rejoins it through
+// follower recovery, which keeps only what the fleet replicated.
+func (n *Node) depose(term uint64, leader, why string) {
+	n.mu.Lock()
+	if n.role == RoleDeposed {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleDeposed
+	if term > n.term {
+		n.term = term
+	}
+	if leader != "" {
+		n.leader = leader
+	}
+	n.mu.Unlock()
+	n.metrics.Counter("cluster.stepdowns").Inc()
+	n.logger.Warn("deposed", "term", term, "why", why)
+	n.srv.SetNotReady(fmt.Sprintf("deposed (%s) at term %d; restart to rejoin the fleet", why, term))
+}
+
+// Close cancels the node's background stolen-job executors and waits
+// for them. Call it after the tick loop and HTTP server have stopped;
+// a closed node leaks no goroutines.
+func (n *Node) Close() {
+	n.cancel()
+	n.wg.Wait()
+}

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// testNode is one in-process fleet member: a durable follower server,
+// its cluster node, and an httptest listener mounting both handlers
+// the way cmd/remedyd does.
+type testNode struct {
+	id     string
+	dir    string
+	store  *durable.Store
+	srv    *serve.Server
+	node   *Node
+	http   *httptest.Server
+	client *serve.Client
+}
+
+// fleet builds n in-process nodes named in sorted order (node-a,
+// node-b, …) sharing one peer map. The lowest ID bootstraps itself
+// leader at construction. mutate, when non-nil, adjusts each node's
+// configs before it is built.
+func fleet(t *testing.T, ids []string, mutate func(id string, scfg *serve.Config, ccfg *Config)) map[string]*testNode {
+	t.Helper()
+	ctx := context.Background()
+
+	// The peer map must exist before any node does, so each node's
+	// listener starts first with a swappable handler and the real mux is
+	// installed once the node is built.
+	peers := make(map[string]string, len(ids))
+	holders := make(map[string]*atomic.Value, len(ids))
+	servers := make(map[string]*httptest.Server, len(ids))
+	for _, id := range ids {
+		holder := &atomic.Value{}
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h, ok := holder.Load().(http.Handler); ok {
+				h.ServeHTTP(w, r)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		peers[id] = hs.URL
+		holders[id] = holder
+		servers[id] = hs
+		t.Cleanup(hs.Close)
+	}
+
+	nodes := make(map[string]*testNode, len(ids))
+	for _, id := range ids {
+		scfg := serve.Config{NodeID: id, Workers: 2, QueueDepth: 8}
+		ccfg := Config{ID: id, Peers: peers, LeaseTicks: 2, StealMax: -1}
+		if mutate != nil {
+			mutate(id, &scfg, &ccfg)
+		}
+		dir := t.TempDir()
+		store, err := durable.Open(ctx, dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.NewFollower(ctx, scfg, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := New(ctx, ccfg, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", srv.Handler())
+		holders[id].Store(http.Handler(mux))
+
+		tn := &testNode{
+			id: id, dir: dir, store: store, srv: srv, node: node, http: servers[id],
+			client: serve.NewRetryingClient(peers[id], serve.RetryPolicy{
+				MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond,
+			}),
+		}
+		nodes[id] = tn
+		t.Cleanup(func() {
+			tn.node.Close()
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := tn.srv.Shutdown(sctx); err != nil {
+				t.Errorf("shutdown %s: %v", tn.id, err)
+			}
+			if err := tn.store.Close(); err != nil {
+				t.Errorf("close store %s: %v", tn.id, err)
+			}
+		})
+	}
+	return nodes
+}
+
+// uploadCompas registers a synthetic COMPAS dataset through c.
+func uploadCompas(t *testing.T, c *serve.Client, n int, seed int64) serve.DatasetInfo {
+	t.Helper()
+	d := synth.CompasN(n, seed)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(context.Background(), &buf, "compas-test",
+		"two_year_recid", []string{"age", "race", "sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// syncFleet ticks the leader until every live follower holds its whole
+// journal (or the deadline passes).
+func syncFleet(t *testing.T, ctx context.Context, leader *testNode, followers ...*testNode) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leader.node.Tick(ctx)
+		want := leader.store.Journal().Sequence()
+		synced := true
+		for _, f := range followers {
+			if f.store.Journal().Sequence() != want {
+				synced = false
+			}
+		}
+		if synced {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not sync to seq %d", want)
+		}
+	}
+}
+
+func assertNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBootstrapElectsLowestIDAndForwards(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b", "node-c"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+
+	if role, term, leader := a.node.Role(); role != RoleLeader || term != 1 || leader != "node-a" {
+		t.Fatalf("node-a = %s term %d leader %s, want leader/1/node-a", role, term, leader)
+	}
+	if ready, _ := a.srv.Readiness(); !ready {
+		t.Fatal("bootstrap leader is not ready")
+	}
+	if role, _, _ := b.node.Role(); role != RoleFollower {
+		t.Fatalf("node-b role = %s, want follower", role)
+	}
+	if ready, reason := b.srv.Readiness(); ready {
+		t.Fatalf("follower reports ready (%s)", reason)
+	}
+
+	// One heartbeat teaches the followers who leads; from then on API
+	// traffic against a follower forwards there: the job lands on
+	// node-a even though the client never heard of it.
+	a.node.Tick(ctx)
+	info := uploadCompas(t, b.client, 200, 7)
+	st, err := b.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID})
+	if err != nil {
+		t.Fatalf("submit via follower: %v", err)
+	}
+	if st, err = b.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job via follower: %+v, %v", st, err)
+	}
+	if _, err := a.srv.Registry().Get(info.ID); err != nil {
+		t.Fatal("dataset did not land on the leader")
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["serve.http_requests"]; got == 0 {
+		t.Fatal("leader saw no forwarded traffic")
+	}
+}
+
+func TestReplicationMirrorsJournalByteForByte(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b", "node-c"}, nil)
+	a, b, c := nodes["node-a"], nodes["node-b"], nodes["node-c"]
+
+	info := uploadCompas(t, a.client, 200, 7)
+	for i := 0; i < 3; i++ {
+		st, err := a.client.SubmitJob(ctx, serve.JobRequest{
+			Kind: "train", DatasetID: info.ID, Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = a.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+			t.Fatalf("job %d: %+v, %v", i, st, err)
+		}
+	}
+
+	syncFleet(t, ctx, a, b, c)
+
+	want, err := os.ReadFile(a.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("leader journal is empty")
+	}
+	for _, f := range []*testNode{b, c} {
+		got, err := os.ReadFile(f.store.Journal().Path())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Positional replication re-marshals the same records in the
+		// same order through the same framing: the files must be
+		// byte-identical, not merely equivalent.
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s journal differs from leader's (%d vs %d bytes)", f.id, len(got), len(want))
+		}
+	}
+	if lag := a.srv.Metrics().Snapshot().Gauges["cluster.replication_lag"]; lag != 0 {
+		t.Fatalf("replication lag = %v after sync, want 0", lag)
+	}
+}
+
+func TestFollowerPromotesAfterLeaseAndDeposesOldLeader(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b", "node-c"}, nil)
+	a, b, c := nodes["node-a"], nodes["node-b"], nodes["node-c"]
+	syncFleet(t, ctx, a, b, c)
+
+	// node-a goes silent (we stop ticking it). node-b is first in rank
+	// among {b, c}, so its budget is 1 lease = 2 ticks; the third
+	// silent tick promotes it.
+	for i := 0; i < 3; i++ {
+		b.node.Tick(ctx)
+	}
+	if role, term, leader := b.node.Role(); role != RoleLeader || term != 2 || leader != "node-b" {
+		t.Fatalf("node-b = %s term %d leader %s, want leader/2/node-b", role, term, leader)
+	}
+	if ready, reason := b.srv.Readiness(); !ready {
+		t.Fatalf("promoted leader not ready: %s", reason)
+	}
+
+	// node-b's first leader tick heartbeats term 2 everywhere: node-c
+	// adopts it, and node-a — still calling itself term-1 leader — is
+	// deposed on contact.
+	b.node.Tick(ctx)
+	if _, term, leader := c.node.Role(); term != 2 || leader != "node-b" {
+		t.Fatalf("node-c sees term %d leader %s, want 2/node-b", term, leader)
+	}
+	if role, _, _ := a.node.Role(); role != RoleDeposed {
+		t.Fatalf("node-a role = %s, want deposed", role)
+	}
+	if ready, reason := a.srv.Readiness(); ready || reason == "" {
+		t.Fatalf("deposed node readiness = %v %q, want not-ready with reason", ready, reason)
+	}
+	if _, err := a.client.Readyz(ctx); err == nil {
+		t.Fatal("deposed node's readyz did not 503")
+	}
+
+	// A deposed node's tick is a no-op: it must not fight the new
+	// leader.
+	a.node.Tick(ctx)
+	if role, _, _ := a.node.Role(); role != RoleDeposed {
+		t.Fatal("deposed node revived itself")
+	}
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.promotions"]; got != 1 {
+		t.Fatalf("promotions on node-b = %d, want 1", got)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.stepdowns"]; got != 1 {
+		t.Fatalf("stepdowns on node-a = %d, want 1", got)
+	}
+}
+
+func TestDatasetShardPushAndFetchOnMiss(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b", "node-c"}, nil)
+	a := nodes["node-a"]
+
+	info := uploadCompas(t, a.client, 200, 7)
+	roster := []string{"node-a", "node-b", "node-c"}
+	owner := Owner(info.ID, roster)
+
+	// The leader's tick pushes the spilled dataset to its shard owner.
+	a.node.Tick(ctx)
+	if owner != "node-a" {
+		own := nodes[owner]
+		if _, err := own.srv.Registry().Get(info.ID); err != nil {
+			t.Fatalf("owner %s does not hold the pushed dataset: %v", owner, err)
+		}
+		if _, err := own.store.LoadDataset(ctx, info.ID); err != nil {
+			t.Fatalf("owner %s did not spill the pushed dataset: %v", owner, err)
+		}
+	}
+
+	// A node with no local copy fetches on miss — from whoever holds
+	// it.
+	for _, id := range roster {
+		n := nodes[id]
+		if _, err := n.srv.Registry().Get(info.ID); err == nil {
+			continue
+		}
+		if err := n.node.fetchDataset(ctx, info.ID); err != nil {
+			t.Fatalf("%s fetch-on-miss: %v", id, err)
+		}
+		if _, err := n.srv.Registry().Get(info.ID); err != nil {
+			t.Fatalf("%s still missing dataset after fetch: %v", id, err)
+		}
+	}
+
+	// Fetching a dataset nobody holds fails with the last error.
+	if err := a.node.fetchDataset(ctx, "ds-0000000000000000"); err == nil {
+		t.Fatal("fetch of unknown dataset succeeded")
+	}
+}
+
+func TestWorkStealingRunsQueuedJobOnFollower(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, func(id string, scfg *serve.Config, ccfg *Config) {
+		scfg.Workers = 1
+		ccfg.StealMax = 1
+	})
+	a, b := nodes["node-a"], nodes["node-b"]
+	info := uploadCompas(t, a.client, 200, 7)
+
+	// Pin node-a's only worker inside the first job, so the second one
+	// stays queued and stealable.
+	entered := make(chan struct{}, 4)
+	gate := make(chan struct{})
+	faults.Set(faults.ServeJob, func(any) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})
+	t.Cleanup(func() { faults.Clear(faults.ServeJob) })
+	defer close(gate)
+
+	st1, err := a.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	st2, err := a.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternate ticks (the leader's heartbeat keeps the follower's
+	// promotion clock at zero) until the stolen job lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a.node.Tick(ctx)
+		b.node.Tick(ctx)
+		st, err := a.client.Job(ctx, st2.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == serve.StateDone {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("stolen job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stolen job still %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The stolen job's result is served by the leader even though a
+	// follower computed it; the first job is still pinned.
+	var tr serve.TrainResult
+	if err := a.client.Result(ctx, st2.ID, &tr); err != nil {
+		t.Fatalf("stolen job result: %v", err)
+	}
+	if tr.TrainRows == 0 {
+		t.Fatalf("stolen result empty: %+v", tr)
+	}
+	if st, err := a.client.Job(ctx, st1.ID); err != nil || st.State != serve.StateRunning {
+		t.Fatalf("pinned job = %+v, %v; want still running", st, err)
+	}
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.steals"]; got != 1 {
+		t.Fatalf("steals on node-b = %d, want 1", got)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["serve.jobs_stolen"]; got != 1 {
+		t.Fatalf("jobs_stolen on node-a = %d, want 1", got)
+	}
+
+	close(entered)
+}
+
+func TestStealFencedByTerm(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a := nodes["node-a"]
+
+	// A steal carrying a stale term is refused before it can touch the
+	// queue.
+	body := []byte(`{"term": 0, "node": "node-b"}`)
+	var resp stealResponse
+	err := serve.NewClient(a.http.URL).DoJSON(ctx, http.MethodPost, "/cluster/steal", body, &resp)
+	if err == nil {
+		t.Fatal("stale-term steal was accepted")
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.steal_rejected"]; got != 1 {
+		t.Fatalf("steal_rejected = %d, want 1", got)
+	}
+}
+
+func TestOwnerIsStableAndBalanced(t *testing.T) {
+	roster := []string{"node-c", "node-a", "node-b"} // order must not matter
+	counts := map[string]int{}
+	for i := 0; i < 64; i++ {
+		id := string(rune('a'+i%26)) + "-dataset"
+		o1 := Owner(id+string(rune('0'+i/26)), roster)
+		o2 := Owner(id+string(rune('0'+i/26)), []string{"node-a", "node-b", "node-c"})
+		if o1 != o2 {
+			t.Fatalf("owner depends on roster order: %s vs %s", o1, o2)
+		}
+		counts[o1]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("ownership did not spread: %v", counts)
+	}
+	if Owner("ds-x", nil) != "" {
+		t.Fatal("empty roster should own nothing")
+	}
+}
+
+func TestStolenJobRequeuedAfterStealerSilence(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, func(id string, scfg *serve.Config, ccfg *Config) {
+		scfg.Workers = 1
+		ccfg.StealTicks = 2
+	})
+	a := nodes["node-a"]
+	info := uploadCompas(t, a.client, 200, 7)
+
+	entered := make(chan struct{}, 4)
+	gate := make(chan struct{})
+	faults.Set(faults.ServeJob, func(any) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})
+	t.Cleanup(func() { faults.Clear(faults.ServeJob) })
+	defer close(gate)
+
+	if _, err := a.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	st2, err := a.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Steal the queued job directly (as a stealer that then dies
+	// without ever reporting).
+	id, _, err := a.srv.StealQueued(ctx, "node-ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != st2.ID {
+		t.Fatalf("stole %s, want %s", id, st2.ID)
+	}
+	a.node.mu.Lock()
+	a.node.stolen[id] = 0
+	a.node.mu.Unlock()
+
+	// Age the steal past its budget: the leader re-queues the job.
+	for i := 0; i < 4; i++ {
+		a.node.Tick(ctx)
+	}
+	st, err := a.client.Job(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateQueued {
+		t.Fatalf("expired stolen job state = %s, want queued", st.State)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("expired stolen job attempts = %d, want 1 (one life burned)", st.Attempts)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.steals_expired"]; got != 1 {
+		t.Fatalf("steals_expired = %d, want 1", got)
+	}
+	close(entered)
+}
+
+// TestClusterStatusEndpoint pins the ops surface: role, term, log
+// position, and per-peer ack state.
+func TestClusterStatusEndpoint(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+	syncFleet(t, ctx, a, b)
+
+	var st Status
+	if err := serve.NewClient(a.http.URL).DoJSON(ctx, http.MethodGet, "/cluster/status", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != RoleLeader || st.Term != 1 || st.NodeID != "node-a" {
+		t.Fatalf("leader status = %+v", st)
+	}
+	if st.Acked["node-b"] != st.Seq {
+		t.Fatalf("leader status acked = %v, want node-b at %d", st.Acked, st.Seq)
+	}
+	if err := serve.NewClient(b.http.URL).DoJSON(ctx, http.MethodGet, "/cluster/status", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != RoleFollower || st.Leader != "node-a" {
+		t.Fatalf("follower status = %+v", st)
+	}
+}
+
+// TestLeaseFaultStallsLeader pins the cluster.lease.renew fault point:
+// a stalled leader sends nothing, and the fleet notices.
+func TestLeaseFaultStallsLeader(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+	syncFleet(t, ctx, a, b)
+
+	faults.Set(faults.ClusterLease, func(any) error { return errors.New("injected stall") })
+	t.Cleanup(func() { faults.Clear(faults.ClusterLease) })
+
+	// The stalled leader ticks but nothing reaches node-b, whose
+	// missed counter climbs to promotion.
+	for i := 0; i < 3; i++ {
+		a.node.Tick(ctx)
+		b.node.Tick(ctx)
+	}
+	if role, term, _ := b.node.Role(); role != RoleLeader || term != 2 {
+		t.Fatalf("node-b = %s term %d, want leader term 2 after stalled lease", role, term)
+	}
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+
+	"repro/internal/serve"
+)
+
+// Handler returns the node's inter-node HTTP surface, mounted by
+// cmd/remedyd beside the serve handler (the /cluster/ prefix routes
+// here; everything else routes to serve). These endpoints are fleet
+// plumbing: they bypass the serve layer's readiness gate — a standby
+// follower must accept replication and serve its dataset shards — and
+// carry no client-facing compatibility promise.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
+	mux.HandleFunc("POST /cluster/steal", n.handleSteal)
+	mux.HandleFunc("POST /cluster/steal/result", n.handleStealResult)
+	mux.HandleFunc("GET /cluster/datasets/{id}", n.handleDatasetGet)
+	mux.HandleFunc("PUT /cluster/datasets/{id}", n.handleDatasetPut)
+	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	return mux
+}
+
+// errBody mirrors the serve layer's error envelope so the shared
+// retrying client decodes cluster errors the same way.
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) //lint:allow errdiscard best-effort write to a disconnecting peer
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req replicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: "cluster: bad replicate request: " + err.Error()})
+		return
+	}
+	resp, status, msg := n.applyReplicate(r.Context(), req)
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+		clusterJSON(w, status, errBody{Error: msg})
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: "cluster: bad steal request: " + err.Error()})
+		return
+	}
+	if msg, ok := n.checkStealFence(req.Term); !ok {
+		n.metrics.Counter("cluster.steal_rejected").Inc()
+		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
+		return
+	}
+	id, jreq, err := n.srv.StealQueued(r.Context(), req.Node)
+	if errors.Is(err, serve.ErrNoStealable) {
+		clusterJSON(w, http.StatusOK, stealResponse{})
+		return
+	}
+	if err != nil {
+		clusterJSON(w, http.StatusInternalServerError, errBody{Error: "cluster: steal: " + err.Error()})
+		return
+	}
+	n.mu.Lock()
+	n.stolen[id] = 0
+	n.mu.Unlock()
+	n.logger.Info("job stolen", "job", id, "by", req.Node)
+	clusterJSON(w, http.StatusOK, stealResponse{JobID: id, Request: jreq})
+}
+
+func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
+	var res stealResult
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: "cluster: bad steal result: " + err.Error()})
+		return
+	}
+	if msg, ok := n.checkStealFence(res.Term); !ok {
+		n.metrics.Counter("cluster.steal_rejected").Inc()
+		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
+		return
+	}
+	if err := n.srv.CompleteStolen(r.Context(), res.JobID, res.Final, res.Error, res.Result, res.Node); err != nil {
+		clusterJSON(w, http.StatusInternalServerError, errBody{Error: "cluster: complete stolen: " + err.Error()})
+		return
+	}
+	n.mu.Lock()
+	delete(n.stolen, res.JobID)
+	n.mu.Unlock()
+	clusterJSON(w, http.StatusOK, struct{}{})
+}
+
+// checkStealFence admits a steal-protocol request only on the leader
+// at the caller's exact term: a stolen job must start and finish under
+// one leadership, or not at all.
+func (n *Node) checkStealFence(term uint64) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleLeader {
+		return "cluster: not the leader", false
+	}
+	if term != n.term {
+		return "cluster: steal fenced: stale term", false
+	}
+	return "", true
+}
+
+// handleDatasetGet serves one spilled dataset to a peer — the read
+// side of fetch-on-miss. Any node that holds the spill serves it, not
+// just the shard owner.
+func (n *Node) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sd, err := n.srv.Store().LoadDataset(r.Context(), id)
+	if err != nil {
+		clusterJSON(w, http.StatusNotFound, errBody{Error: "cluster: dataset not held here: " + err.Error()})
+		return
+	}
+	csv, err := os.ReadFile(sd.CSVPath)
+	if err != nil {
+		clusterJSON(w, http.StatusInternalServerError, errBody{Error: "cluster: read spill: " + err.Error()})
+		return
+	}
+	clusterJSON(w, http.StatusOK, datasetTransfer{Meta: sd.Meta, CSV: string(csv)})
+}
+
+// handleDatasetPut receives a shard push and installs the dataset
+// locally (spilled, so it survives this node's restart).
+func (n *Node) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	var t datasetTransfer
+	if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: "cluster: bad dataset transfer: " + err.Error()})
+		return
+	}
+	if err := n.installTransfer(r.Context(), r.PathValue("id"), t); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Status is the /cluster/status body: one node's view of the fleet.
+type Status struct {
+	NodeID string `json:"node_id"`
+	Role   string `json:"role"`
+	Term   uint64 `json:"term"`
+	Leader string `json:"leader,omitempty"`
+	// Seq is the local journal length (records held).
+	Seq uint64 `json:"seq"`
+	// Acked maps each peer to the highest journal sequence the leader
+	// knows it holds (leader only; peers with unknown positions are
+	// omitted).
+	Acked map[string]uint64 `json:"acked,omitempty"`
+	// Stolen counts jobs currently lent out (leader); Inflight counts
+	// stolen jobs running locally (follower).
+	Stolen   int `json:"stolen,omitempty"`
+	Inflight int `json:"inflight,omitempty"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	n.mu.Lock()
+	st := Status{
+		NodeID:   n.cfg.ID,
+		Role:     n.role,
+		Term:     n.term,
+		Leader:   n.leader,
+		Stolen:   len(n.stolen),
+		Inflight: n.inflight,
+	}
+	if n.role == RoleLeader {
+		st.Acked = make(map[string]uint64, len(n.peers))
+		for id, p := range n.peers {
+			if p.known {
+				st.Acked[id] = p.acked
+			}
+		}
+	}
+	n.mu.Unlock()
+	st.Seq = n.journal.Sequence()
+	clusterJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+)
+
+// The replication wire protocol. One request carries a contiguous run
+// of journal records starting at FromSeq — empty for a pure heartbeat
+// — plus the sender's term and total log length. The response is the
+// receiver's term and how much log it now holds; Rejected means the
+// sender's term is stale and it must step down.
+type replicateRequest struct {
+	Term      uint64           `json:"term"`
+	Leader    string           `json:"leader"`
+	LeaderSeq uint64           `json:"leader_seq"`
+	FromSeq   uint64           `json:"from_seq"`
+	Records   []durable.Record `json:"records,omitempty"`
+}
+
+type replicateResponse struct {
+	Term     uint64 `json:"term"`
+	Leader   string `json:"leader,omitempty"`
+	HaveSeq  uint64 `json:"have_seq"`
+	Rejected bool   `json:"rejected,omitempty"`
+}
+
+// replicateAll streams the journal to every follower, one send per
+// peer per tick. A peer whose position is unknown (fresh leadership)
+// gets a pure heartbeat and reports its HaveSeq back; from then on it
+// receives the records it is missing, BatchMax at a time, read
+// straight from the journal file. The same send is the lease renewal:
+// hearing it is what stops a follower's promotion clock.
+func (n *Node) replicateAll(ctx context.Context) {
+	n.mu.Lock()
+	term := n.term
+	type target struct {
+		p     *peerState
+		known bool
+		acked uint64
+	}
+	targets := make([]target, 0, len(n.peers))
+	for _, id := range sortedKeys(n.peers) {
+		p := n.peers[id]
+		targets = append(targets, target{p, p.known, p.acked})
+	}
+	n.mu.Unlock()
+
+	seq := n.journal.Sequence()
+	minAcked := seq
+	for _, t := range targets {
+		req := replicateRequest{Term: term, Leader: n.cfg.ID, LeaderSeq: seq, FromSeq: seq}
+		if t.known && t.acked < seq {
+			recs, err := durable.ReadJournalRange(ctx, n.journal.Path(), t.acked, uint64(n.cfg.BatchMax))
+			if err != nil {
+				n.logger.Error("replication backfill read failed", "peer", t.p.id, "err", err)
+				continue
+			}
+			req.FromSeq = t.acked
+			req.Records = recs
+		}
+		if err := faults.FireCtx(ctx, faults.ClusterReplicate, n.cfg.ID+"→"+t.p.id); err != nil {
+			// The injected partition: the frames never leave this node.
+			n.logger.Warn("replication send suppressed", "peer", t.p.id, "err", err)
+			continue
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			n.logger.Error("replication request marshal failed", "err", err)
+			return
+		}
+		var resp replicateResponse
+		if err := t.p.client.DoJSON(ctx, http.MethodPost, "/cluster/replicate", body, &resp); err != nil {
+			n.logger.Warn("replication send failed", "peer", t.p.id, "err", err)
+			continue
+		}
+		if resp.Rejected {
+			n.depose(resp.Term, resp.Leader, "replication rejected by higher term")
+			return
+		}
+		n.mu.Lock()
+		t.p.known, t.p.acked = true, resp.HaveSeq
+		n.mu.Unlock()
+		if resp.HaveSeq < minAcked {
+			minAcked = resp.HaveSeq
+		}
+	}
+	n.metrics.Gauge("cluster.replication_lag").Set(float64(seq - minAcked))
+}
+
+// applyReplicate is the follower half: terms are checked, the lease
+// clock resets, and the records land positionally via
+// AppendReplicated. It returns the response plus an HTTP status (a
+// non-200 status means the body is an error message, not a response).
+func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replicateResponse, int, string) {
+	n.mu.Lock()
+	if n.role == RoleDeposed {
+		n.mu.Unlock()
+		return replicateResponse{}, http.StatusServiceUnavailable,
+			"cluster: node is deposed; restart to rejoin"
+	}
+	if req.Term < n.term {
+		resp := replicateResponse{Term: n.term, Leader: n.leader, Rejected: true}
+		n.mu.Unlock()
+		n.metrics.Counter("cluster.replicate_rejected").Inc()
+		n.logger.Warn("rejected stale-term replication",
+			"from", req.Leader, "their_term", req.Term, "our_term", resp.Term)
+		return resp, http.StatusOK, ""
+	}
+	if req.Term > n.term && n.role == RoleLeader {
+		// Another node leads a later term: this node's journal holds its
+		// own RecTerm (and possibly more) that the new leader's log does
+		// not — a fork. Step aside rather than guess.
+		n.mu.Unlock()
+		n.depose(req.Term, req.Leader, "superseded while leading")
+		return replicateResponse{}, http.StatusServiceUnavailable,
+			"cluster: node is deposed; restart to rejoin"
+	}
+	if req.Term > n.term {
+		n.term = req.Term
+		n.metrics.Gauge("cluster.leader_term").Set(float64(req.Term))
+	}
+	adopted := n.leader != req.Leader
+	n.leader = req.Leader
+	n.missed = 0
+	term := n.term
+	n.mu.Unlock()
+	if adopted {
+		// Keep /readyz honest: a standby follower is still not-ready
+		// (writes forward to the leader), but "no current term" stops
+		// being true the moment a heartbeat names one.
+		n.srv.SetNotReady(fmt.Sprintf("follower of %s at term %d; writes forward to the leader", req.Leader, term))
+	}
+
+	local := n.journal.Sequence()
+	if local > req.LeaderSeq {
+		// Our log is longer than the leader's whole log: a suffix nobody
+		// replicated to us — so it cannot be the fleet's history.
+		n.depose(req.Term, req.Leader, "log diverged from leader")
+		return replicateResponse{}, http.StatusServiceUnavailable,
+			"cluster: node is deposed; restart to rejoin"
+	}
+	applied := int64(0)
+	for i, rec := range req.Records {
+		pos := req.FromSeq + uint64(i)
+		if pos < local {
+			continue // overlap: already applied
+		}
+		if pos > local {
+			break // gap: the leader will backfill from our HaveSeq
+		}
+		if err := n.journal.AppendReplicated(ctx, rec); err != nil {
+			n.logger.Error("replicated append failed", "seq", pos, "err", err)
+			break
+		}
+		local++
+		applied++
+		if rec.Type == durable.RecTerm {
+			// Track term history arriving through the log itself (a
+			// replayed election from before this node joined).
+			n.mu.Lock()
+			if rec.Term > n.term {
+				n.term, n.leader = rec.Term, rec.Leader
+				term = n.term
+			}
+			n.mu.Unlock()
+		}
+	}
+	n.metrics.Counter("cluster.records_applied").Add(applied)
+	return replicateResponse{Term: term, HaveSeq: n.journal.Sequence()}, http.StatusOK, ""
+}

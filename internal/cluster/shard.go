@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/durable"
+)
+
+// Owner maps a dataset ID onto the fleet member responsible for
+// holding its shard copy: a stable hash over the sorted roster, so
+// every node computes the same owner without coordination. Dataset IDs
+// are content hashes already, so ownership spreads evenly.
+func Owner(id string, nodeIDs []string) string {
+	if len(nodeIDs) == 0 {
+		return ""
+	}
+	ids := append([]string(nil), nodeIDs...)
+	sort.Strings(ids)
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id)) //lint:allow errdiscard hash.Hash Write never fails
+	return ids[int(h.Sum32())%len(ids)]
+}
+
+// datasetTransfer moves one spilled dataset between nodes: the spill
+// sidecar metadata plus the canonical CSV bytes. The receiver installs
+// it under the same content-derived ID and spills it locally, so the
+// copy survives the receiver's restart.
+type datasetTransfer struct {
+	Meta durable.DatasetMeta `json:"meta"`
+	CSV  string              `json:"csv"`
+}
+
+// pushDatasets walks the leader's registry and pushes each dataset it
+// does not own to its shard owner, once. Failures are retried on the
+// next tick — the push set only records successes — so a briefly
+// unreachable owner catches up as soon as it answers.
+func (n *Node) pushDatasets(ctx context.Context) {
+	infos := n.srv.Registry().List()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	roster := n.nodeIDs()
+	for _, info := range infos {
+		owner := Owner(info.ID, roster)
+		if owner == n.cfg.ID {
+			continue
+		}
+		n.mu.Lock()
+		done := n.pushed[info.ID]
+		n.mu.Unlock()
+		if done {
+			continue
+		}
+		if err := n.pushDataset(ctx, info.ID, owner); err != nil {
+			n.logger.Warn("dataset shard push failed; will retry",
+				"dataset", info.ID, "owner", owner, "err", err)
+			continue
+		}
+		n.metrics.Counter("cluster.datasets_pushed").Inc()
+		n.logger.Info("dataset shard pushed", "dataset", info.ID, "owner", owner)
+		n.mu.Lock()
+		n.pushed[info.ID] = true
+		n.mu.Unlock()
+	}
+}
+
+// pushDataset ships one spilled dataset to its owner.
+func (n *Node) pushDataset(ctx context.Context, id, owner string) error {
+	p := n.peers[owner]
+	if p == nil {
+		return fmt.Errorf("cluster: owner %q is not a peer", owner)
+	}
+	sd, err := n.srv.Store().LoadDataset(ctx, id)
+	if err != nil {
+		return err
+	}
+	csv, err := os.ReadFile(sd.CSVPath)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(datasetTransfer{Meta: sd.Meta, CSV: string(csv)})
+	if err != nil {
+		return err
+	}
+	return p.client.DoJSON(ctx, http.MethodPut, "/cluster/datasets/"+url.PathEscape(id), body, nil)
+}
+
+// fetchDataset is the serve layer's fetch-on-miss hook: a dataset the
+// local registry does not hold is pulled from the fleet — the shard
+// owner first, then every other peer, since the owner may be the node
+// that just died and any node that touched the dataset holds a spilled
+// copy.
+func (n *Node) fetchDataset(ctx context.Context, id string) error {
+	candidates := make([]string, 0, len(n.peers))
+	if owner := Owner(id, n.nodeIDs()); owner != n.cfg.ID {
+		candidates = append(candidates, owner)
+	}
+	for _, pid := range sortedKeys(n.peers) {
+		if len(candidates) > 0 && pid == candidates[0] {
+			continue
+		}
+		candidates = append(candidates, pid)
+	}
+	err := fmt.Errorf("cluster: no peer holds dataset %s", id)
+	for _, pid := range candidates {
+		p := n.peers[pid]
+		if p == nil {
+			continue
+		}
+		var t datasetTransfer
+		if ferr := p.client.DoJSON(ctx, http.MethodGet, "/cluster/datasets/"+url.PathEscape(id), nil, &t); ferr != nil {
+			err = ferr
+			continue
+		}
+		if ierr := n.installTransfer(ctx, id, t); ierr != nil {
+			err = ierr
+			continue
+		}
+		n.metrics.Counter("cluster.datasets_fetched").Inc()
+		n.logger.Info("dataset fetched from fleet", "dataset", id, "peer", pid)
+		return nil
+	}
+	return err
+}
+
+// installTransfer parses and admits one received dataset under its
+// fleet-wide ID, spilling it locally.
+func (n *Node) installTransfer(ctx context.Context, id string, t datasetTransfer) error {
+	if t.Meta.ID != id {
+		return fmt.Errorf("cluster: dataset transfer ID %q does not match %q", t.Meta.ID, id)
+	}
+	// Transfers carry the canonical spill CSV the sender's server
+	// produced, so the upload caps do not apply.
+	d, err := dataset.ReadCSVLimit(strings.NewReader(t.CSV), t.Meta.Target, t.Meta.Protected, 0, 0)
+	if err != nil {
+		return fmt.Errorf("cluster: parse transferred dataset %s: %w", id, err)
+	}
+	_, err = n.srv.Registry().Install(ctx, id, t.Meta.Name, d, t.Meta.Bytes)
+	return err
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

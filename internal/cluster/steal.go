@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The work-stealing wire protocol. A follower with idle capacity asks
+// the leader for queued work (pull, never push: the leader stays the
+// only source of truth about what is queued). Both directions are
+// term-fenced — a steal or a result carrying a stale term is refused,
+// so a job can never complete under two leaderships.
+type stealRequest struct {
+	Term uint64 `json:"term"`
+	Node string `json:"node"`
+}
+
+// stealResponse carries the stolen job, or a "" JobID when the queue
+// has nothing stealable.
+type stealResponse struct {
+	JobID   string           `json:"job_id"`
+	Request serve.JobRequest `json:"request"`
+}
+
+type stealResult struct {
+	Term   uint64          `json:"term"`
+	Node   string          `json:"node"`
+	JobID  string          `json:"job_id"`
+	Final  serve.State     `json:"final"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// trySteal asks the leader for one queued job and, if one comes back,
+// runs it in the background (tracked by the node's WaitGroup, bounded
+// by StealMax).
+func (n *Node) trySteal(ctx context.Context, term uint64, leader string) {
+	if err := faults.FireCtx(ctx, faults.ClusterSteal, n.cfg.ID); err != nil {
+		n.logger.Warn("steal attempt suppressed", "err", err)
+		return
+	}
+	p := n.peers[leader]
+	if p == nil {
+		return
+	}
+	body, err := json.Marshal(stealRequest{Term: term, Node: n.cfg.ID})
+	if err != nil {
+		n.logger.Error("steal request marshal failed", "err", err)
+		return
+	}
+	var resp stealResponse
+	if err := p.client.DoJSON(ctx, http.MethodPost, "/cluster/steal", body, &resp); err != nil {
+		n.logger.Warn("steal request failed", "err", err)
+		return
+	}
+	if resp.JobID == "" {
+		return
+	}
+	n.mu.Lock()
+	n.inflight++
+	n.mu.Unlock()
+	n.metrics.Counter("cluster.steals").Inc()
+	n.logger.Info("stole job", "job", resp.JobID, "from", leader)
+	n.wg.Add(1)
+	go n.runStolen(term, leader, resp.JobID, resp.Request)
+}
+
+// runStolen executes one stolen job against this node's own pipeline
+// and reports the outcome to the leader. The run is bounded by the
+// node's lifetime context (Close cancels it); an undeliverable result
+// is logged and left to the leader's steal timeout, which re-queues
+// the job.
+func (n *Node) runStolen(term uint64, leader, id string, req serve.JobRequest) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		n.inflight--
+		n.mu.Unlock()
+	}()
+	ctx := obs.WithLogger(obs.WithMetrics(n.baseCtx, n.metrics), n.logger)
+
+	out := stealResult{Term: term, Node: n.cfg.ID, JobID: id, Final: serve.StateDone}
+	res, err := n.srv.RunRequest(ctx, req)
+	if err != nil {
+		out.Final, out.Error = serve.StateFailed, err.Error()
+	} else if out.Result, err = json.Marshal(res); err != nil {
+		out.Final, out.Error, out.Result = serve.StateFailed, "stolen result marshal: "+err.Error(), nil
+	}
+
+	body, err := json.Marshal(out)
+	if err != nil {
+		n.logger.Error("steal result marshal failed", "job", id, "err", err)
+		return
+	}
+	p := n.peers[leader]
+	if p == nil {
+		return
+	}
+	if err := p.client.DoJSON(ctx, http.MethodPost, "/cluster/steal/result", body, nil); err != nil {
+		n.logger.Warn("stolen result not delivered; leader's steal timeout will re-queue",
+			"job", id, "err", err)
+	}
+}
+
+// expireStolen re-queues stolen jobs whose stealer went silent: every
+// leader tick ages the outstanding steals, and one unreported past
+// StealTicks goes back on the queue (burning one of the job's attempt
+// lives, exactly like a crash interruption would).
+func (n *Node) expireStolen(ctx context.Context) {
+	n.mu.Lock()
+	var expired []string
+	for id := range n.stolen {
+		n.stolen[id]++
+		if n.stolen[id] > n.cfg.StealTicks {
+			expired = append(expired, id)
+			delete(n.stolen, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(expired)
+	for _, id := range expired {
+		n.logger.Warn("stolen job unreported past budget; re-queueing", "job", id)
+		n.metrics.Counter("cluster.steals_expired").Inc()
+		if err := n.srv.RequeueStolen(ctx, id); err != nil {
+			n.logger.Error("re-queue of expired stolen job failed", "job", id, "err", err)
+		}
+	}
+}

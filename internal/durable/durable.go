@@ -190,6 +190,30 @@ func (s *Store) RemoveDataset(ctx context.Context, id string) error {
 	return nil
 }
 
+// LoadDataset returns one committed spilled dataset by ID, or
+// os.ErrNotExist if it was never spilled (or its spill never
+// committed). It is the single-dataset read behind the cluster's
+// fetch-on-miss dataset transfer: the spill file is the transfer
+// format, streamed as-is.
+func (s *Store) LoadDataset(_ context.Context, id string) (SpilledDataset, error) {
+	if !safeID(id) {
+		return SpilledDataset{}, fmt.Errorf("%w: %q", ErrBadDatasetID, id)
+	}
+	csvPath, metaPath := s.datasetPaths(id)
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		return SpilledDataset{}, fmt.Errorf("durable: load dataset %s: %w", id, err)
+	}
+	var meta DatasetMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return SpilledDataset{}, fmt.Errorf("durable: load dataset %s: malformed sidecar: %w", id, err)
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		return SpilledDataset{}, fmt.Errorf("durable: load dataset %s: %w", id, err)
+	}
+	return SpilledDataset{Meta: meta, CSVPath: csvPath}, nil
+}
+
 // LoadDatasets returns every committed spilled dataset, sorted by ID
 // for a deterministic recovery order. Orphaned CSVs (no sidecar) and
 // unreadable sidecars are skipped, not fatal: recovery restores what

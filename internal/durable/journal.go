@@ -28,6 +28,12 @@ const (
 	// RecCheckpoint records one completed identify lattice level for a
 	// job, carrying an opaque payload the serving layer encodes.
 	RecCheckpoint RecordType = "checkpoint"
+	// RecTerm records a leadership term change in a replicated
+	// deployment: the term number and the node that leads it. The term
+	// is the cluster's fencing token — every replication request
+	// carries it, and a journal that contains RecTerm(n) proves its
+	// node witnessed term n. Single-node journals never contain one.
+	RecTerm RecordType = "term"
 )
 
 // Record is one journal entry. The serving layer owns the semantics;
@@ -51,6 +57,13 @@ type Record struct {
 	// snapshot payload.
 	Level      int             `json:"level,omitempty"`
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+
+	// Term fields (RecTerm): the leadership term and the node leading
+	// it. On RecState records, Node optionally names the node that ran
+	// the transition (work stealing attribution).
+	Term   uint64 `json:"term,omitempty"`
+	Leader string `json:"leader,omitempty"`
+	Node   string `json:"node,omitempty"`
 }
 
 // Journal framing: the file opens with a magic+version header; each
@@ -73,12 +86,22 @@ var ErrJournalClosed = errors.New("durable: journal closed")
 // Journal is the append-only job log. Appends are serialized by an
 // internal mutex; replay reads a separate handle, so recovery can
 // replay the same path the journal is appending to.
+//
+// For replication the journal doubles as a positional log: every
+// intact record has a sequence number equal to its zero-based index in
+// the file. InitSequence seeds the counter from a recovery replay,
+// Sequence reports the current length, and a sink installed with
+// SetSink observes every successful append — the hook the cluster
+// layer uses to learn that new records are ready to stream to
+// followers.
 type Journal struct {
 	mu     sync.Mutex
 	f      *os.File
 	path   string
 	sync   bool
 	closed bool
+	seq    uint64
+	sink   func(seq uint64, rec Record)
 }
 
 // OpenJournal opens (creating if absent) the journal at path for
@@ -117,6 +140,35 @@ func OpenJournal(ctx context.Context, path string, syncEach bool) (*Journal, err
 // Path returns the journal file path.
 func (j *Journal) Path() string { return j.path }
 
+// Sequence returns the number of records the journal holds: the
+// sequence number the next append will receive. It is only meaningful
+// after InitSequence seeded the count from a replay (a freshly opened
+// journal starts at zero regardless of the file's contents).
+func (j *Journal) Sequence() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// InitSequence seeds the sequence counter with the number of intact
+// records a recovery replay found, so appends continue the positional
+// numbering. Call it once, before any post-recovery append.
+func (j *Journal) InitSequence(n uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq = n
+}
+
+// SetSink installs fn to observe every successful append with the
+// record's sequence number. fn runs under the journal's append lock —
+// it must be fast and must never call back into the journal. A nil fn
+// removes the sink.
+func (j *Journal) SetSink(fn func(seq uint64, rec Record)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sink = fn
+}
+
 // Append frames, checksums, and writes one record. The context is
 // used for fault injection and observability only — an append is
 // never skipped because ctx is cancelled, since the callers journal
@@ -129,6 +181,21 @@ func (j *Journal) Append(ctx context.Context, rec Record) error {
 	if err := faults.FireCtx(ctx, faults.JournalAppend, rec); err != nil {
 		return fmt.Errorf("durable: journal append: %w", err)
 	}
+	return j.append(ctx, rec)
+}
+
+// AppendReplicated is Append without the durable.journal.append faults
+// point: the apply path for records arriving from a replication
+// stream. A follower replaying its leader's log is not making a new
+// durability decision — the record was already journaled once, on the
+// leader — so chaos tests that inject append failures target original
+// appends only and replication failures are injected at the cluster
+// layer's own points instead.
+func (j *Journal) AppendReplicated(ctx context.Context, rec Record) error {
+	return j.append(ctx, rec)
+}
+
+func (j *Journal) append(ctx context.Context, rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("durable: journal append: %w", err)
@@ -151,11 +218,132 @@ func (j *Journal) Append(ctx context.Context, rec Record) error {
 			return fmt.Errorf("durable: journal sync: %w", err)
 		}
 	}
+	seq := j.seq
+	j.seq++
+	if j.sink != nil {
+		j.sink(seq, rec)
+	}
 	m := obs.MetricsFrom(ctx)
 	m.Counter("durable.journal_appends").Inc()
 	m.Counter("durable.journal_bytes").Add(int64(len(frame)))
 	return nil
 }
+
+// TruncateTo discards every record from sequence n onward, shrinking
+// the file to the byte length of the first n records (plus header) and
+// resetting the sequence counter. Two callers need it: recovery, to
+// cut a torn tail before new appends land behind unreadable bytes, and
+// a follower reconciling its log with a new leader whose log is
+// shorter (the discarded suffix was never replicated and is superseded
+// by the new term). Truncating to the current length is a no-op.
+func (j *Journal) TruncateTo(ctx context.Context, n uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	offset, count, err := scanFrames(j.path, n)
+	if err != nil {
+		return fmt.Errorf("durable: truncate journal: %w", err)
+	}
+	if count < n {
+		return fmt.Errorf("durable: truncate journal to %d: only %d records present", n, count)
+	}
+	st, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("durable: truncate journal: %w", err)
+	}
+	if st.Size() == offset {
+		j.seq = n
+		return nil // already exactly n records
+	}
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("durable: truncate journal: %w", err)
+	}
+	j.seq = n
+	obs.MetricsFrom(ctx).Counter("durable.journal_truncations").Inc()
+	obs.LoggerFrom(ctx).Scope("durable").Info("journal truncated",
+		"records", n, "bytes", offset)
+	return nil
+}
+
+// scanFrames walks the journal's framing (without decoding payloads)
+// and returns the byte offset just past record max — or past the last
+// intact record, whichever comes first — plus the number of intact
+// records it covers. Damage past that point is ignored, exactly as
+// replay would.
+func scanFrames(path string, max uint64) (offset int64, count uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close() //lint:allow errdiscard read-only close carries no information
+	r := bufio.NewReader(f)
+	hdr := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != string(journalMagic) {
+		return 0, 0, fmt.Errorf("%s is not a remedy journal (bad header)", path)
+	}
+	offset = int64(len(journalMagic))
+	frame := make([]byte, frameHeaderLen)
+	var payload []byte
+	for count < max {
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return offset, count, nil // clean or torn end: stop at the intact prefix
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordLen {
+			return offset, count, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return offset, count, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return offset, count, nil
+		}
+		offset += int64(frameHeaderLen) + int64(n)
+		count++
+	}
+	return offset, count, nil
+}
+
+// ReadJournalRange returns up to max intact records starting at
+// sequence from (the zero-based record index). It is the replication
+// backfill read: a leader serving a follower that is behind reads the
+// records the follower is missing straight from its own file. Reads
+// past the end return an empty slice, not an error; a torn tail bounds
+// the readable range exactly as replay would.
+func ReadJournalRange(ctx context.Context, path string, from, max uint64) ([]Record, error) {
+	if max == 0 {
+		return nil, nil
+	}
+	var (
+		recs []Record
+		idx  uint64
+	)
+	_, err := ReplayJournal(ctx, path, func(rec Record) error {
+		if idx >= from && uint64(len(recs)) < max {
+			recs = append(recs, rec)
+		}
+		idx++
+		if idx >= from+max {
+			return errStopReplay
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopReplay) {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// errStopReplay is a sentinel fn error used to end a replay early once
+// a bounded read has what it needs.
+var errStopReplay = errors.New("durable: stop replay")
 
 // Close syncs and closes the journal; further Appends fail with
 // ErrJournalClosed.

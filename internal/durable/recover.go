@@ -72,6 +72,11 @@ type Table struct {
 	Dropped int
 	// Replay carries how the journal read ended (torn tail etc.).
 	Replay ReplayInfo
+	// Term and Leader are the last leadership term the journal
+	// witnessed (RecTerm records, last-wins) — zero/"" for a journal
+	// that never ran in a cluster.
+	Term   uint64
+	Leader string
 }
 
 // Reduce folds journal records into a consistent job table. It is
@@ -90,6 +95,16 @@ func Reduce(recs []Record) *Table {
 }
 
 func (t *Table) reduceOne(byID map[string]*JobRecord, rec Record) {
+	if rec.Type == RecTerm {
+		// Terms are monotone: a replicated log can only ever append a
+		// higher term, so last-wins and monotone-wins agree; keeping the
+		// max guards against a hand-edited journal regressing the fence.
+		if rec.Term > t.Term {
+			t.Term = rec.Term
+			t.Leader = rec.Leader
+		}
+		return
+	}
 	if rec.JobID == "" {
 		t.Dropped++
 		return

@@ -70,6 +70,21 @@ const (
 	// error hook simulates a transport failure, which the client's
 	// retry policy must absorb within its attempt budget.
 	ClientDo Point = "serve.client.do"
+	// ClusterReplicate fires before a cluster leader sends one
+	// replication batch (or heartbeat) to one follower. The argument is
+	// "leaderID→peerID" (string). An error hook drops the send — the
+	// chaos tests' network partition: followers stop hearing from the
+	// leader and begin counting missed lease ticks.
+	ClusterReplicate Point = "cluster.replicate.send"
+	// ClusterLease fires once per leader tick before the lease renewal
+	// (the heartbeat fan-out) begins. The argument is the leader's node
+	// ID (string). An error hook makes the leader skip the whole tick's
+	// sends, simulating a stalled leader that still holds local state.
+	ClusterLease Point = "cluster.lease.renew"
+	// ClusterSteal fires before a follower attempts to steal queued
+	// work from its leader. The argument is the stealing node's ID
+	// (string). An error hook suppresses the attempt.
+	ClusterSteal Point = "cluster.steal"
 )
 
 // Hook is an injected behavior. Returning a non-nil error makes the

@@ -125,6 +125,30 @@ func (c *Client) attempt(ctx context.Context, method, path string, body io.Reade
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// DoJSON issues one JSON request with a replayable (possibly nil)
+// body through the client's retry policy and decodes the response into
+// out (when non-nil). It is the inter-node transport the cluster layer
+// rides on: replication batches, steal requests, and dataset pushes
+// all inherit the backoff, Retry-After handling, and circuit breaker —
+// a not-ready peer (503 + Retry-After) backs the sender off exactly
+// like 429 backpressure does.
+func (c *Client) DoJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	return c.do(ctx, method, path, body, out)
+}
+
+// Livez fetches /livez, the pure liveness probe.
+func (c *Client) Livez(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/livez", nil, nil)
+}
+
+// Readyz fetches /readyz. A not-ready node is a 503 apiError whose
+// message carries the reason.
+func (c *Client) Readyz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/readyz", nil, &h)
+	return h, err
+}
+
 // UploadDataset streams a CSV body into the registry and returns the
 // registered entry. Uploading the same content twice is idempotent.
 // The stream cannot be replayed, so this call is always a single

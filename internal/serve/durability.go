@@ -35,8 +35,51 @@ import (
 
 // recover restores registry and engine state from s.store. Called by
 // NewDurable before the worker pool starts, so no job runs against a
-// partially restored registry.
+// partially restored registry. The node reports not-ready for the
+// duration of the replay.
 func (s *Server) recover(ctx context.Context) error {
+	s.SetNotReady("replaying journal")
+	if err := s.recoverInto(ctx, true); err != nil {
+		return err
+	}
+	s.SetReady()
+	return nil
+}
+
+// recoverStandby is the follower half of recovery: datasets and the
+// journal's bookkeeping (sequence, torn tail) are restored so the node
+// can receive replicated records, but jobs are not — and nothing is
+// appended, because a follower's journal must stay a positional
+// replica of its leader's. The node stays not-ready.
+func (s *Server) recoverStandby(ctx context.Context) error {
+	return s.recoverInto(ctx, false)
+}
+
+// Promote turns a standby follower into a serving leader: the
+// accumulated replicated journal is replayed into the engine — jobs
+// the dead leader finished become history, its orphaned running job is
+// re-queued to resume from its last replicated checkpoint — and the
+// node goes ready. Jobs the engine already knows (a defensive case;
+// a standby's engine is normally empty) are skipped, so Promote is
+// safe to call on a node that has partially recovered before.
+//
+// The caller (internal/cluster) appends the new term's RecTerm before
+// calling Promote, so every record the promotion itself appends is
+// already fenced under the new term.
+func (s *Server) Promote(ctx context.Context) error {
+	s.SetNotReady("replaying journal")
+	if err := s.recoverInto(ctx, true); err != nil {
+		s.SetNotReady("promotion failed: " + err.Error())
+		return err
+	}
+	s.SetReady()
+	return nil
+}
+
+// recoverInto is the shared recovery walk. restoreJobs selects the
+// full mode (jobs restored, recovery records appended) versus the
+// standby mode (bookkeeping only, nothing appended).
+func (s *Server) recoverInto(ctx context.Context, restoreJobs bool) error {
 	ctx = obs.WithLogger(obs.WithMetrics(ctx, s.metrics), s.logger)
 	ctx, sp := obs.StartSpan(ctx, "serve.recover")
 	defer sp.End()
@@ -52,14 +95,31 @@ func (s *Server) recover(ctx context.Context) error {
 		return fmt.Errorf("serve: recover journal: %w", err)
 	}
 	s.engine.setSeq(tbl.MaxJobSeq)
+	s.recTerm, s.recLeader = tbl.Term, tbl.Leader
 	sp.SetInt("jobs", int64(len(tbl.Jobs)))
 	if tbl.Replay.Torn {
 		s.logger.Warn("journal tail damaged; recovering the proven prefix",
 			"records", tbl.Replay.Records, "reason", tbl.Replay.Reason)
+		// Cut the damaged bytes before any new append lands behind them:
+		// an append after a torn tail would be unreadable on the next
+		// replay, silently shortening the journal's proven history.
+		if err := s.store.Journal().TruncateTo(ctx, uint64(tbl.Replay.Records)); err != nil {
+			return fmt.Errorf("serve: cut torn journal tail: %w", err)
+		}
+	}
+	s.store.Journal().InitSequence(uint64(tbl.Replay.Records))
+
+	if !restoreJobs {
+		s.logger.Info("standby recovery complete",
+			"datasets", s.registry.Len(), "records", tbl.Replay.Records)
+		return nil
 	}
 
 	requeued := 0
 	for _, rec := range tbl.Jobs {
+		if _, err := s.engine.Job(rec.ID); err == nil {
+			continue // already restored by an earlier recovery pass
+		}
 		rq, err := s.restoreJob(ctx, rec)
 		if err != nil {
 			return err
@@ -160,8 +220,10 @@ func (s *Server) restoreJob(ctx context.Context, rec *durable.JobRecord) (bool, 
 		return false, s.restoreFailed(ctx, j, rec, "journaled state unknown: "+string(j.state))
 	}
 
-	// Re-take the dataset reference the original submission held.
-	_, release, err := s.registry.Acquire(j.req.DatasetID)
+	// Re-take the dataset reference the original submission held. In a
+	// cluster the dataset may live on another node's shard (the dead
+	// leader pushed it there); acquireDataset fetches it on miss.
+	_, release, err := s.acquireDataset(ctx, j.req.DatasetID)
 	if err != nil {
 		return false, s.restoreFailed(ctx, j, rec, "dataset not recovered: "+err.Error())
 	}

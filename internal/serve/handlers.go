@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -27,21 +28,107 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.SnapshotHandler(func() *obs.Registry { return s.metrics }))
 	return mux
 }
 
-// Handler returns the server's HTTP handler with request accounting
-// wrapped around the routes.
+// infraPath reports whether the path is a probe/ops endpoint that must
+// answer locally on every node: never gated on readiness, never
+// forwarded to the leader.
+func infraPath(p string) bool {
+	return p == "/livez" || p == "/readyz" || p == "/healthz" || p == "/metrics"
+}
+
+// forwardedHeader marks a request a follower forwarded to its leader;
+// a forwarded request is never forwarded again (loop prevention).
+const forwardedHeader = "X-Remedy-Forwarded"
+
+// Handler returns the server's HTTP handler with request accounting,
+// the readiness gate, and — in a cluster — follower-to-leader
+// forwarding wrapped around the routes.
 func (s *Server) Handler() http.Handler {
 	mux := s.routes()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() //lint:allow determinism request latency metric; the serving layer is wall-clock by nature
 		s.metrics.Counter("serve.http_requests").Inc()
+		defer func() {
+			s.metrics.Histogram("serve.http_duration_ms", obs.DefaultDurationBucketsMS).
+				Observe(float64(time.Since(start).Milliseconds()))
+		}()
+		if !infraPath(r.URL.Path) {
+			// Forwarding comes before the readiness gate: a standby
+			// follower is not ready to serve from its own engine, but the
+			// fleet is — any node can take traffic as long as it knows the
+			// leader.
+			if s.forwardToLeader(w, r) {
+				return
+			}
+			if ready, reason := s.Readiness(); !ready {
+				// Not-ready wears the same clothes as backpressure: 503 with
+				// a Retry-After, so the retrying Client backs off and tries
+				// again instead of failing the request.
+				s.metrics.Counter("serve.not_ready_rejected").Inc()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: not ready: " + reason})
+				return
+			}
+		}
 		mux.ServeHTTP(w, r)
-		s.metrics.Histogram("serve.http_duration_ms", obs.DefaultDurationBucketsMS).
-			Observe(float64(time.Since(start).Milliseconds()))
 	})
+}
+
+// forwardToLeader proxies API traffic hitting a follower to the
+// current leader, so clients can point at any node. It reports whether
+// it handled the request.
+func (s *Server) forwardToLeader(w http.ResponseWriter, r *http.Request) bool {
+	if s.cluster == nil {
+		return false
+	}
+	role, _, _ := s.cluster.Role()
+	if role == "leader" {
+		return false
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		// A forwarded request landing on a non-leader means the fleet's
+		// view of the leader is stale mid-handoff; bounce, don't loop.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: not the leader"})
+		return true
+	}
+	leaderURL := s.cluster.LeaderURL()
+	if leaderURL == "" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: leader unknown"})
+		return true
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, leaderURL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeError(w, err)
+		return true
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, s.cfg.NodeID)
+	hc := s.forward
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: "serve: forward to leader: " + err.Error()})
+		return true
+	}
+	defer resp.Body.Close() //lint:allow errdiscard read-only close carries no information
+	s.metrics.Counter("serve.requests_forwarded").Inc()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body) //lint:allow errdiscard best-effort relay to a disconnecting client
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -224,12 +311,50 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	_ = j.tracer.WriteJSON(w) //lint:allow errdiscard best-effort write to a disconnecting client
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// health assembles the shared /healthz / /readyz body.
+func (s *Server) health() Health {
 	queued, running := s.engine.counts()
-	writeJSON(w, http.StatusOK, Health{
+	ready, reason := s.Readiness()
+	h := Health{
 		Status:   "ok",
 		Datasets: s.registry.Len(),
 		Queued:   queued,
 		Running:  running,
-	})
+		Ready:    ready,
+		Reason:   reason,
+		NodeID:   s.cfg.NodeID,
+	}
+	if !ready {
+		h.Status = "not ready"
+	}
+	if s.cluster != nil {
+		h.Role, h.Term, h.Leader = s.cluster.Role()
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleLivez is pure liveness: if the process can answer, it is
+// alive. Restart-worthy conditions (a wedged process) are exactly the
+// ones that fail to produce this response.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"alive"})
+}
+
+// handleReadyz is the readiness probe: 200 when the node can serve,
+// 503 with the reason (and a Retry-After hint) while it is replaying
+// its journal, holds no cluster term, or has been deposed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	if !h.Ready {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
 }

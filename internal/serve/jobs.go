@@ -32,6 +32,9 @@ var (
 	// finished before a restart: the journal proves the outcome but
 	// result payloads are not retained across restarts (410).
 	ErrResultGone = errors.New("serve: job result not retained across restart")
+	// ErrNoStealable is returned by StealQueued when nothing is queued
+	// for a remote node to take.
+	ErrNoStealable = errors.New("serve: no stealable job queued")
 )
 
 // job is the engine's internal record for one submitted job. The
@@ -112,6 +115,7 @@ type engine struct {
 	jobs       map[string]*job
 	order      []string // submission order, for GET /jobs
 	idem       map[string]*job
+	idemOrder  []string // idem keys in insertion order, for bounded eviction
 	queue      chan *job
 	closed     bool
 	seq        int
@@ -132,6 +136,9 @@ type engine struct {
 	journal *durable.Journal
 	// maxAttempts caps crash-recovery re-queues of one job.
 	maxAttempts int
+	// maxIdemKeys bounds the idem table (<=0 after config defaulting
+	// means unlimited; Config.withDefaults supplies 1024).
+	maxIdemKeys int
 }
 
 // newEngine builds the engine without starting its worker pool;
@@ -199,6 +206,13 @@ func (e *engine) journalSubmit(ctx context.Context, j *job) error {
 
 // journalState appends one state transition. No-op without a journal.
 func (e *engine) journalState(ctx context.Context, id string, st State, errMsg string, attempt int) error {
+	return e.journalStateNode(ctx, id, st, errMsg, attempt, "")
+}
+
+// journalStateNode is journalState with work-stealing attribution: the
+// node that ran the transition, recorded on the journal record for
+// audit trails ("" for the journal's own node).
+func (e *engine) journalStateNode(ctx context.Context, id string, st State, errMsg string, attempt int, node string) error {
 	if e.journal == nil {
 		return nil
 	}
@@ -208,6 +222,7 @@ func (e *engine) journalState(ctx context.Context, id string, st State, errMsg s
 		State:   string(st),
 		Error:   errMsg,
 		Attempt: attempt,
+		Node:    node,
 	})
 }
 
@@ -231,6 +246,48 @@ func (e *engine) journalCheckpoint(ctx context.Context, id string, snap core.Lev
 	}
 	e.metrics.Counter("serve.checkpoints_journaled").Inc()
 	return nil
+}
+
+// idemInsertLocked records key → j in the dedup table and evicts past
+// the cap. Caller holds e.mu.
+func (e *engine) idemInsertLocked(key string, j *job) {
+	if _, exists := e.idem[key]; !exists {
+		e.idemOrder = append(e.idemOrder, key)
+	}
+	e.idem[key] = j
+	e.evictIdemLocked()
+}
+
+// evictIdemLocked bounds the dedup table: while it exceeds the cap,
+// the oldest keys whose jobs are terminal — their outcome already
+// journaled, since every terminal transition is journaled before it is
+// acknowledged — are dropped. A key whose job is still live is never
+// evicted (a retry of an in-flight submission must keep deduping), so
+// the table can transiently exceed the cap by the number of live
+// keyed jobs, which the bounded queue itself bounds. Caller holds
+// e.mu.
+func (e *engine) evictIdemLocked() {
+	if e.maxIdemKeys <= 0 || len(e.idem) <= e.maxIdemKeys {
+		return
+	}
+	kept := e.idemOrder[:0]
+	for _, key := range e.idemOrder {
+		j, ok := e.idem[key]
+		if !ok {
+			continue // key already released (journal-failure path)
+		}
+		if len(e.idem) > e.maxIdemKeys {
+			select {
+			case <-j.done: // terminal: journaled, safe to forget
+				delete(e.idem, key)
+				e.metrics.Counter("serve.idem_keys_evicted").Inc()
+				continue
+			default:
+			}
+		}
+		kept = append(kept, key)
+	}
+	e.idemOrder = kept
 }
 
 // Submit validates nothing (the handler already has), records the job
@@ -279,7 +336,7 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	if req.IdempotencyKey != "" {
-		e.idem[req.IdempotencyKey] = j
+		e.idemInsertLocked(req.IdempotencyKey, j)
 	}
 	e.mu.Unlock()
 	if err := e.journalSubmit(ctx, j); err != nil {
@@ -391,9 +448,154 @@ func (e *engine) restore(j *job) error {
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	if key := j.req.IdempotencyKey; key != "" {
-		e.idem[key] = j
+		e.idemInsertLocked(key, j)
 	}
 	return nil
+}
+
+// StealQueued hands the oldest queued job to a remote node: the job
+// leaves the local queue, its running state is journaled with the
+// stealer's attribution, and the stealer executes it via RunRequest on
+// its own data. Terminal outcomes come back through CompleteStolen.
+// Jobs cancelled while queued are skipped (they are already finished);
+// an empty queue is ErrNoStealable.
+func (e *engine) StealQueued(ctx context.Context, node string) (*job, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrShuttingDown
+	}
+	for {
+		select {
+		case j := <-e.queue:
+			e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
+			<-j.admitted
+			j.mu.Lock()
+			if j.state.Terminal() { // cancelled while queued: already finished
+				j.mu.Unlock()
+				continue
+			}
+			attempt := j.attempts
+			j.mu.Unlock()
+			if err := e.journalStateNode(ctx, j.id, StateRunning, "", attempt, node); err != nil {
+				// Same contract as a local start: a job whose start cannot be
+				// journaled must not run anywhere.
+				e.metrics.Counter("serve.journal_errors").Inc()
+				j.mu.Lock()
+				j.finishLocked(StateFailed, "steal start not journaled: "+err.Error())
+				j.mu.Unlock()
+				e.metrics.Counter("serve.jobs_failed").Inc()
+				return nil, fmt.Errorf("serve: journal steal: %w", err)
+			}
+			j.mu.Lock()
+			if j.state.Terminal() { // cancelled in the journaling window
+				j.mu.Unlock()
+				continue
+			}
+			j.state = StateRunning
+			j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
+			j.mu.Unlock()
+			e.metrics.Counter("serve.jobs_stolen").Inc()
+			e.logger.Info("job stolen", "job", j.id, "node", node)
+			return j, nil
+		default:
+			return nil, ErrNoStealable
+		}
+	}
+}
+
+// CompleteStolen lands a stolen job's terminal outcome, journaled with
+// the stealer's attribution before it becomes observable. Reporting an
+// already-terminal job is a no-op (a duplicate report after a retried
+// delivery must not double-finish it).
+func (e *engine) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string) error {
+	if !final.Terminal() {
+		return fmt.Errorf("serve: stolen job %s reported non-terminal state %q", id, final)
+	}
+	j, err := e.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	attempt := j.attempts
+	j.mu.Unlock()
+	if jerr := e.journalStateNode(ctx, id, final, errMsg, attempt, node); jerr != nil {
+		e.metrics.Counter("serve.journal_errors").Inc()
+		return fmt.Errorf("serve: journal steal result: %w", jerr)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch final {
+	case StateDone:
+		if len(result) > 0 {
+			j.result = result
+		}
+		j.finishLocked(StateDone, "")
+		e.metrics.Counter("serve.jobs_done").Inc()
+		e.logger.Info("stolen job done", "job", id, "node", node)
+	case StateCancelled:
+		j.finishLocked(StateCancelled, errMsg)
+		e.metrics.Counter("serve.jobs_cancelled").Inc()
+	default:
+		j.finishLocked(StateFailed, errMsg)
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.logger.Error("stolen job failed", "job", id, "node", node, "err", errMsg)
+	}
+	return nil
+}
+
+// RequeueStolen returns a stolen job to the queue after its stealer
+// died without reporting, burning one attempt — the same budget a
+// crash recovery charges. A spent budget fails the job.
+func (e *engine) RequeueStolen(ctx context.Context, id string) error {
+	j, err := e.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state != StateRunning {
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("serve: requeue stolen job %s: state is %s, not running", id, st)
+	}
+	attempt := j.attempts + 1
+	j.mu.Unlock()
+	if e.maxAttempts > 0 && attempt >= e.maxAttempts {
+		reason := fmt.Sprintf("stealer died; attempt budget exhausted (%d/%d)", attempt, e.maxAttempts)
+		if jerr := e.journalState(ctx, id, StateFailed, reason, attempt); jerr != nil {
+			e.metrics.Counter("serve.journal_errors").Inc()
+			return fmt.Errorf("serve: journal steal failure: %w", jerr)
+		}
+		j.mu.Lock()
+		j.finishLocked(StateFailed, reason)
+		j.mu.Unlock()
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		return nil
+	}
+	if jerr := e.journalState(ctx, id, StateQueued, "", attempt); jerr != nil {
+		e.metrics.Counter("serve.journal_errors").Inc()
+		return fmt.Errorf("serve: journal steal requeue: %w", jerr)
+	}
+	j.mu.Lock()
+	j.state = StateQueued
+	j.attempts = attempt
+	j.started = time.Time{}
+	j.mu.Unlock()
+	select {
+	case e.queue <- j:
+		return nil
+	default:
+		j.mu.Lock()
+		j.finishLocked(StateFailed, "requeue after stealer death: queue full")
+		j.mu.Unlock()
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		return fmt.Errorf("%w: requeue of stolen job %s", ErrQueueFull, id)
+	}
 }
 
 // setSeq raises the job-ID sequence to at least n, so IDs minted after

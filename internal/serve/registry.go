@@ -130,6 +130,15 @@ func (rg *Registry) Restore(ctx context.Context, id, name string, d *dataset.Dat
 	return rg.admit(ctx, id, name, d, bytes, false)
 }
 
+// Install admits a dataset under an ID minted elsewhere in the fleet —
+// the receiving half of a cluster shard push or fetch-on-miss. Unlike
+// Restore it spills: the copy must survive this node's restart, since
+// the fleet now counts on this node holding it. Installing an ID the
+// registry already has is a no-op returning the existing entry.
+func (rg *Registry) Install(ctx context.Context, id, name string, d *dataset.Dataset, bytes int64) (DatasetInfo, error) {
+	return rg.admit(ctx, id, name, d, bytes, true)
+}
+
 // admit inserts d under id. With spill set (every live admission) the
 // dataset is spilled to the durable store — if one is attached —
 // before the admission is acknowledged, so a crash after a 201 can

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -143,7 +144,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (any, error) {
 		// engine re-checks so library callers get the same contract.
 		return nil, err
 	}
-	d, release, err := s.registry.Acquire(j.req.DatasetID)
+	d, release, err := s.acquireDataset(ctx, j.req.DatasetID)
 	if err != nil {
 		return nil, err
 	}
@@ -163,17 +164,66 @@ func (s *Server) runJob(ctx context.Context, j *job) (any, error) {
 		}
 	}
 
-	switch j.req.Kind {
+	return s.execute(ctx, d, p, j.req)
+}
+
+// execute dispatches one validated request to its pipeline stage.
+func (s *Server) execute(ctx context.Context, d *dataset.Dataset, p jobParams, req JobRequest) (any, error) {
+	switch req.Kind {
 	case "identify":
 		return s.runIdentify(ctx, d, p)
 	case "remedy":
-		return s.runRemedy(ctx, d, p, j.req.DatasetID)
+		return s.runRemedy(ctx, d, p, req.DatasetID)
 	case "train":
 		return s.runTrain(ctx, d, p)
 	case "audit":
 		return s.runAudit(ctx, d, p)
 	}
-	return nil, fmt.Errorf("unknown job kind %q", j.req.Kind)
+	return nil, fmt.Errorf("unknown job kind %q", req.Kind)
+}
+
+// RunRequest executes one job request synchronously against this
+// node's data: the execution half of work stealing. The stealing node
+// owns no engine record for the job — lifecycle transitions stay on
+// the leader's journal via StealQueued/CompleteStolen — so the run is
+// bare: validated, dataset acquired (fetched from the fleet on miss),
+// pipeline executed, result returned. Checkpoints are not cut; a
+// stolen job that dies with its stealer is re-queued whole by
+// RequeueStolen.
+func (s *Server) RunRequest(ctx context.Context, req JobRequest) (any, error) {
+	p, err := validateRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	d, release, err := s.acquireDataset(ctx, req.DatasetID)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.execute(ctx, d, p, req)
+}
+
+// StealQueued exposes the engine's work-stealing pop: the oldest
+// queued job leaves for node, which must report its outcome through
+// CompleteStolen (or be recovered by RequeueStolen).
+func (s *Server) StealQueued(ctx context.Context, node string) (string, JobRequest, error) {
+	j, err := s.engine.StealQueued(ctx, node)
+	if err != nil {
+		return "", JobRequest{}, err
+	}
+	return j.id, j.req, nil
+}
+
+// CompleteStolen lands a stolen job's terminal outcome (see the engine
+// method).
+func (s *Server) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string) error {
+	return s.engine.CompleteStolen(ctx, id, final, errMsg, result, node)
+}
+
+// RequeueStolen returns a stolen job to the queue after its stealer
+// died without reporting (see the engine method).
+func (s *Server) RequeueStolen(ctx context.Context, id string) error {
+	return s.engine.RequeueStolen(ctx, id)
 }
 
 func (s *Server) runIdentify(ctx context.Context, d *dataset.Dataset, p jobParams) (any, error) {

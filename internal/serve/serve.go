@@ -33,8 +33,13 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/durable"
 	"repro/internal/obs"
 )
@@ -62,6 +67,15 @@ type Config struct {
 	// re-queued with its attempt counter bumped until the budget is
 	// spent, then marked failed. Only meaningful with a durable store.
 	MaxAttempts int
+	// MaxIdemKeys caps the idempotency-key dedup table (default 1024;
+	// negative = unlimited). Past the cap, keys of terminal jobs —
+	// whose outcome the journal already proves — are evicted oldest
+	// first; keys of live jobs are never evicted, so dedup of anything
+	// still in flight is unaffected.
+	MaxIdemKeys int
+	// NodeID names this node in a cluster ("" for single-node mode);
+	// it appears in health output and work-stealing attribution.
+	NodeID string
 	// Logger and Metrics are the server-level observability handles;
 	// nil means a silent logger and a fresh registry.
 	Logger  *obs.Logger
@@ -93,10 +107,28 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 3
 	}
+	if c.MaxIdemKeys == 0 {
+		c.MaxIdemKeys = 1024
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
 	return c
+}
+
+// ClusterView is the narrow window the serving layer needs onto the
+// cluster a node belongs to. internal/cluster implements it; a nil
+// view is single-node mode. Keeping the interface here (and the
+// implementation there) is what lets cluster import serve for its
+// inter-node client without a cycle.
+type ClusterView interface {
+	// Role returns this node's current role ("leader", "follower", or
+	// "deposed"), the current term, and the leading node's ID ("" while
+	// no term is established).
+	Role() (role string, term uint64, leader string)
+	// LeaderURL returns the base URL of the current leader, or "" when
+	// it is unknown or this node is the leader itself.
+	LeaderURL() string
 }
 
 // Server is the remedyd application: registry + engine + handlers,
@@ -108,6 +140,27 @@ type Server struct {
 	metrics  *obs.Registry
 	logger   *obs.Logger
 	store    *durable.Store
+
+	// readyMu guards the readiness fields. notReady is "" when the node
+	// is ready to serve; otherwise it carries the reason (/readyz body).
+	readyMu  sync.Mutex
+	notReady string
+
+	// cluster, when non-nil, makes this node fleet-aware: follower
+	// nodes forward API traffic to the leader and health output carries
+	// the role/term. Set once via SetCluster before serving traffic.
+	cluster ClusterView
+	// forward issues forwarded requests; nil means http.DefaultClient.
+	forward *http.Client
+	// fetchDataset, when non-nil, is called on a dataset-registry miss
+	// during recovery or stolen-job execution to pull the dataset from
+	// the cluster before the lookup is retried.
+	fetchDataset func(ctx context.Context, id string) error
+
+	// recTerm/recLeader are the last leadership term the journal
+	// witnessed, captured during recovery for the cluster bootstrap.
+	recTerm   uint64
+	recLeader string
 }
 
 // newServer builds the registry and engine without starting workers.
@@ -123,6 +176,7 @@ func newServer(cfg Config) *Server {
 		func(ctx context.Context, j *job) (any, error) { return s.runJob(ctx, j) },
 		s.metrics, s.logger)
 	s.engine.maxAttempts = cfg.MaxAttempts
+	s.engine.maxIdemKeys = cfg.MaxIdemKeys
 	return s
 }
 
@@ -151,11 +205,99 @@ func NewDurable(ctx context.Context, cfg Config, store *durable.Store) (*Server,
 	return s, nil
 }
 
+// NewFollower builds a durable server in cluster-standby mode: the
+// store is attached and the journal's intact prefix is made consistent
+// (datasets restored, sequence seeded, any torn tail cut), but no job
+// is restored and — critically — nothing is appended. A follower's
+// journal is a replica of its leader's log; appending recovery records
+// of its own would fork it positionally. The node starts not-ready
+// ("no current term") and its engine runs with an empty queue; Promote
+// turns it into a serving leader when the cluster elects it.
+func NewFollower(ctx context.Context, cfg Config, store *durable.Store) (*Server, error) {
+	s := newServer(cfg)
+	s.store = store
+	s.registry.store = store
+	s.engine.journal = store.Journal()
+	s.SetNotReady("no current term")
+	if err := s.recoverStandby(ctx); err != nil {
+		return nil, err
+	}
+	s.engine.start()
+	return s, nil
+}
+
 // Registry exposes the dataset registry (tests and embedding callers).
 func (s *Server) Registry() *Registry { return s.registry }
 
 // Metrics exposes the server-level registry backing /metrics.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Store exposes the durable store (nil in the in-memory mode).
+func (s *Server) Store() *durable.Store { return s.store }
+
+// NodeID returns the configured cluster node ID ("" single-node).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// RecoveredTerm returns the last leadership term (and its leader) the
+// journal witnessed, captured at recovery — the cluster bootstrap's
+// starting point. Zero/"" for a journal that never ran in a cluster.
+func (s *Server) RecoveredTerm() (uint64, string) { return s.recTerm, s.recLeader }
+
+// SetCluster attaches the cluster view. Call once, before the handler
+// serves traffic.
+func (s *Server) SetCluster(cv ClusterView) { s.cluster = cv }
+
+// SetForwardClient overrides the HTTP client used to forward follower
+// traffic to the leader (tests inject an httptest client).
+func (s *Server) SetForwardClient(c *http.Client) { s.forward = c }
+
+// SetDatasetFetcher installs the cluster's fetch-on-miss hook: on a
+// dataset-registry miss during recovery or stolen-job execution, fn is
+// invoked to pull the dataset from its owning node, then the lookup is
+// retried.
+func (s *Server) SetDatasetFetcher(fn func(ctx context.Context, id string) error) {
+	s.fetchDataset = fn
+}
+
+// SetReady marks the node ready to serve.
+func (s *Server) SetReady() {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	s.notReady = ""
+}
+
+// SetNotReady marks the node not ready, with the reason /readyz
+// reports. Liveness (/livez) is unaffected.
+func (s *Server) SetNotReady(reason string) {
+	if reason == "" {
+		reason = "not ready"
+	}
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	s.notReady = reason
+}
+
+// Readiness reports whether the node is ready and, when it is not,
+// the reason.
+func (s *Server) Readiness() (bool, string) {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	return s.notReady == "", s.notReady
+}
+
+// acquireDataset is Registry.Acquire plus the cluster's fetch-on-miss
+// hook: an unknown dataset is fetched from the fleet once, then the
+// lookup is retried.
+func (s *Server) acquireDataset(ctx context.Context, id string) (*dataset.Dataset, func(), error) {
+	d, release, err := s.registry.Acquire(id)
+	if err == nil || s.fetchDataset == nil || !errors.Is(err, ErrDatasetNotFound) {
+		return d, release, err
+	}
+	if ferr := s.fetchDataset(ctx, id); ferr != nil {
+		return nil, nil, fmt.Errorf("%w (cluster fetch: %v)", err, ferr)
+	}
+	return s.registry.Acquire(id)
+}
 
 // Shutdown stops job intake, cancels queued jobs, and drains running
 // ones until ctx expires; stragglers are then hard-cancelled and

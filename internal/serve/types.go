@@ -228,12 +228,27 @@ type AuditResult struct {
 	Subgroups []SubgroupJSON `json:"subgroups"`
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz and GET /readyz. /healthz always
+// answers 200 with the full picture (it is the detail probe); /readyz
+// answers 503 with Ready=false and a Reason while the node is
+// replaying its journal, holds no cluster term, or has been deposed.
 type Health struct {
 	Status   string `json:"status"`
 	Datasets int    `json:"datasets"`
 	Queued   int    `json:"queued"`
 	Running  int    `json:"running"`
+
+	// Ready is the readiness verdict; Reason explains a false one.
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+
+	// Cluster identity, present when the node runs in a fleet: this
+	// node's ID and role, the current leadership term, and the leader's
+	// node ID.
+	NodeID string `json:"node_id,omitempty"`
+	Role   string `json:"role,omitempty"`
+	Term   uint64 `json:"term,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }
 
 // errorBody is the uniform error envelope of every non-2xx response.

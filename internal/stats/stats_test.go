@@ -6,7 +6,15 @@ import (
 	"testing/quick"
 )
 
-func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+// almostEqual treats equal infinities as equal: Inf-Inf is NaN, which
+// would otherwise fail the symmetry property on degenerate
+// zero-variance samples where WelchT legitimately returns T = ±Inf.
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
 
 func TestMeanVariance(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
@@ -124,6 +132,26 @@ func TestWelchTDegenerate(t *testing.T) {
 	}
 	if res.P != 0 {
 		t.Fatalf("constant different samples: P=%v, want 0", res.P)
+	}
+}
+
+// TestWelchTDegenerateSymmetry pins the quick.Check counterexample
+// (seed-dependent, so it only rarely surfaced): two constant samples
+// with different means, where WelchT legitimately returns T = ±Inf
+// and the statistic must still negate cleanly under argument swap.
+func TestWelchTDegenerateSymmetry(t *testing.T) {
+	a := BernoulliSummary(6, 0)
+	b := BernoulliSummary(5, 5)
+	ra, errA := WelchT(a, b)
+	rb, errB := WelchT(b, a)
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v %v", errA, errB)
+	}
+	if !math.IsInf(ra.T, -1) || !math.IsInf(rb.T, 1) {
+		t.Fatalf("want T = -Inf/+Inf, got %v/%v", ra.T, rb.T)
+	}
+	if !almostEqual(ra.T, -rb.T, 1e-9) || !almostEqual(ra.P, rb.P, 1e-9) {
+		t.Fatalf("asymmetric: %+v vs %+v", ra, rb)
 	}
 }
 

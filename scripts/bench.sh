@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite (bench_test.go: every paper
+# figure in quick mode plus the identify/remedy micro-benchmarks) and
+# write the machine-readable BENCH_*.json artifact that tracks the
+# repo's perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh BENCH_7.json          # default -benchtime 1x
+#   BENCHTIME=3x scripts/bench.sh out.json # more samples, slower
+#
+# The JSON carries wall-clock (ns/op), allocation (B/op, allocs/op),
+# and the work counters the identify benchmarks report
+# (nodes_visited/op, neighbor_ops/op) — regressions in work done are
+# visible even when wall time is noisy.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_dev.json}"
+benchtime="${BENCHTIME:-1x}"
+
+echo "== go test -bench . -benchtime $benchtime (writing $out)"
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . \
+    | tee /dev/stderr \
+    | go run scripts/benchjson.go > "$out"
+echo "== wrote $out"

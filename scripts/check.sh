@@ -35,6 +35,15 @@ go test -race ./internal/durable/...
 go test -race -count=1 -run 'Durable|Crash|Recovery|Restart|Retry|Circuit' \
     ./internal/serve/ ./cmd/remedyd/
 
+echo "== cluster: vet + race failover chaos tests (make cluster-check)"
+# Replication, leader handoff, sharding, and work stealing under the
+# race detector — including the kill-the-leader-mid-identify chaos
+# test (fleet IBS byte-identical to a single-node run, exactly-once)
+# and the cmd-level two-node failover over real TCP.
+go vet ./internal/cluster/...
+go test -race -count=1 ./internal/cluster/
+go test -race -count=1 -run 'Cluster' ./cmd/remedyd/
+
 echo "== go test -race ./..."
 go test -race ./...
 
