@@ -20,11 +20,21 @@
 // (durable.RecTerm). Every replication and steal request carries the
 // sender's term; a receiver that has witnessed a higher term rejects
 // the request, and a leader whose send is rejected steps down. Terms
-// make split-brain harmless rather than impossible: a deposed or
-// diverged node refuses to rejoin the stream — positional replication
-// cannot prove which of two forked suffixes is right — and reports
-// not-ready until a restart rejoins it through the follower recovery
-// path, which replays whatever the fleet replicated to it.
+// make split-brain harmless rather than impossible: a superseded
+// leader is deposed on contact and reports not-ready until a restart
+// rejoins it as a follower.
+//
+// Forks are reconciled structurally. Every fork begins at a
+// leadership change — only leaders append original records, so two
+// logs can only disagree from the position where a new leader's
+// RecTerm displaced a dead leader's unreplicated tail. Each
+// replication request therefore carries the leader's term history
+// (every RecTerm's term, leader, and position); a follower compares
+// it with its own, truncates its log back to the first disagreement
+// (durable.Journal.TruncateTo), and lets the stream re-fill it. A
+// crashed leader that restarts with a forked tail — even one the same
+// length as the fleet's log — heals on its first heartbeat instead of
+// replaying divergent history at a later promotion.
 //
 // There is no clock anywhere in the control flow. All periodic work —
 // heartbeats, lease accounting, promotion, dataset pushes, steal
@@ -130,6 +140,15 @@ type Node struct {
 	metrics *obs.Registry
 	logger  *obs.Logger
 
+	// applyMu serializes every mutation of the local log and the role
+	// transitions that fence it: applyReplicate holds it end to end (two
+	// racing replication requests must not both observe the same length
+	// and double-append), and promote holds it across its
+	// decide-append-switch sequence (a replication landing mid-promotion
+	// must either abort the promotion or wait behind it). Lock order:
+	// applyMu before mu, never the reverse.
+	applyMu sync.Mutex
+
 	mu       sync.Mutex
 	role     string
 	term     uint64
@@ -139,6 +158,12 @@ type Node struct {
 	stolen   map[string]int  // leader: outstanding stolen job → silent ticks
 	pushed   map[string]bool // leader: dataset IDs already pushed to their shard owner
 	inflight int             // follower: stolen jobs executing locally
+	// termStarts is the journal's term history: one entry per RecTerm
+	// record, in log order. It is the fork-detection fence replication
+	// requests carry (see replicate.go) and is kept in lockstep with the
+	// journal: seeded by a scan at New, extended by promote and by
+	// applied RecTerm records, trimmed by reconciliation truncation.
+	termStarts []termStart
 
 	// baseCtx bounds every background stolen-job run; Close cancels it
 	// and waits for wg, so a drained node leaks no goroutines. Stolen
@@ -180,6 +205,12 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 	}
 	n.baseCtx, n.cancel = context.WithCancel(context.Background())
 	n.term, n.leader = srv.RecoveredTerm()
+	starts, err := scanTermStarts(ctx, n.journal.Path())
+	if err != nil {
+		n.cancel()
+		return nil, fmt.Errorf("cluster: scan term history: %w", err)
+	}
+	n.termStarts = starts
 	for id, u := range cfg.Peers {
 		if id == cfg.ID {
 			continue
@@ -195,12 +226,41 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 	}
 	n.metrics.Gauge("cluster.leader_term").Set(float64(n.term))
 	if n.term == 0 && n.nodeIDs()[0] == cfg.ID {
-		if err := n.promote(ctx); err != nil {
+		if err := n.promote(ctx, 0, "", false); err != nil {
 			n.cancel()
 			return nil, fmt.Errorf("cluster: bootstrap election: %w", err)
 		}
 	}
 	return n, nil
+}
+
+// termStart is one entry of a journal's term history: the RecTerm for
+// Term, appended by Leader at log position Seq. Replication requests
+// carry the leader's full history so followers can locate forks (see
+// the package comment); entries compare by value, all three fields.
+type termStart struct {
+	Term   uint64 `json:"term"`
+	Leader string `json:"leader"`
+	Seq    uint64 `json:"seq"`
+}
+
+// scanTermStarts reads the journal's term history from disk — called
+// once at New, after the serve layer's recovery has already cut any
+// torn tail, so the scan sees exactly the records Sequence counts.
+func scanTermStarts(ctx context.Context, path string) ([]termStart, error) {
+	var starts []termStart
+	var idx uint64
+	_, err := durable.ReplayJournal(ctx, path, func(rec durable.Record) error {
+		if rec.Type == durable.RecTerm {
+			starts = append(starts, termStart{Term: rec.Term, Leader: rec.Leader, Seq: idx})
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return starts, nil
 }
 
 // nodeIDs returns every fleet member's ID in sorted order — the
@@ -276,7 +336,7 @@ func (n *Node) tickFollower(ctx context.Context) {
 	if missed > n.promotionThreshold(leader) {
 		n.logger.Warn("leader silent past lease; promoting",
 			"missed_ticks", missed, "leader", leader, "term", term)
-		if err := n.promote(ctx); err != nil {
+		if err := n.promote(ctx, term, leader, true); err != nil {
 			n.logger.Error("promotion failed", "err", err)
 		}
 		return
@@ -310,10 +370,29 @@ func (n *Node) promotionThreshold(leader string) int {
 // token, and every record promotion appends afterwards (interruption
 // bumps, re-queues) is already under it. Then the replicated log is
 // replayed into a live engine and the node goes ready.
-func (n *Node) promote(ctx context.Context) error {
+//
+// The whole sequence runs under applyMu, and the decision is
+// re-checked there: the tick observed (expectTerm, leader) and a
+// silent lease without the lock, so a replication request that landed
+// in between — resetting the lease clock, raising the term, or
+// appending replicated records where the RecTerm would go — aborts
+// the promotion instead of racing it. confirmSilent is false only for
+// the bootstrap election, which has no lease to re-check.
+func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, confirmSilent bool) error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	n.mu.Lock()
+	if n.role != RoleFollower || n.term != expectTerm ||
+		(confirmSilent && n.missed <= n.promotionThreshold(leader)) {
+		role, term := n.role, n.term
+		n.mu.Unlock()
+		n.logger.Info("promotion aborted; a replication arrived since the decision",
+			"role", role, "term", term)
+		return nil
+	}
 	newTerm := n.term + 1
 	n.mu.Unlock()
+	seq := n.journal.Sequence()
 	if err := n.journal.Append(ctx, durable.Record{
 		Type: durable.RecTerm, Term: newTerm, Leader: n.cfg.ID,
 	}); err != nil {
@@ -321,6 +400,7 @@ func (n *Node) promote(ctx context.Context) error {
 	}
 	n.mu.Lock()
 	n.term, n.leader, n.role, n.missed = newTerm, n.cfg.ID, RoleLeader, 0
+	n.termStarts = append(n.termStarts, termStart{Term: newTerm, Leader: n.cfg.ID, Seq: seq})
 	for _, p := range n.peers {
 		p.known = false // re-discover every peer's position via heartbeat
 	}

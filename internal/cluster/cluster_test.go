@@ -3,11 +3,13 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -478,7 +480,7 @@ func TestStolenJobRequeuedAfterStealerSilence(t *testing.T) {
 
 	// Steal the queued job directly (as a stealer that then dies
 	// without ever reporting).
-	id, _, err := a.srv.StealQueued(ctx, "node-ghost")
+	id, _, _, err := a.srv.StealQueued(ctx, "node-ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,6 +507,43 @@ func TestStolenJobRequeuedAfterStealerSilence(t *testing.T) {
 	}
 	if got := a.srv.Metrics().Snapshot().Counters["cluster.steals_expired"]; got != 1 {
 		t.Fatalf("steals_expired = %d, want 1", got)
+	}
+
+	// The ghost stealer finally reports, carrying the attempt it was
+	// handed. The job's re-queued copy lives on attempt 1, so the term
+	// alone cannot fence this result — the attempt number does.
+	err = a.srv.CompleteStolen(ctx, id, serve.StateDone, "", nil, "node-ghost", 0)
+	if !errors.Is(err, serve.ErrStaleAttempt) {
+		t.Fatalf("late steal result: err = %v, want ErrStaleAttempt", err)
+	}
+	if st, err = a.client.Job(ctx, id); err != nil || st.State != serve.StateQueued || st.Attempts != 1 {
+		t.Fatalf("job after fenced result = %+v, %v; want still queued on attempt 1", st, err)
+	}
+
+	// The same report over the wire: a 409, and the stolen table keeps
+	// its entry — which by now tracks a newer steal of the same job,
+	// not the ghost's.
+	a.node.mu.Lock()
+	a.node.stolen[id] = 0
+	a.node.mu.Unlock()
+	body, err := json.Marshal(stealResult{Term: 1, Node: "node-ghost", JobID: id, Attempt: 0, Final: serve.StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.NewClient(a.http.URL).DoJSON(ctx, http.MethodPost, "/cluster/steal/result", body, nil); err == nil {
+		t.Fatal("stale-attempt steal result was accepted over HTTP")
+	}
+	a.node.mu.Lock()
+	_, tracked := a.node.stolen[id]
+	a.node.mu.Unlock()
+	if !tracked {
+		t.Fatal("stale result evicted the newer steal's tracking entry")
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.steal_results_stale"]; got != 1 {
+		t.Fatalf("cluster.steal_results_stale = %d, want 1", got)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["serve.steal_results_stale"]; got != 2 {
+		t.Fatalf("serve.steal_results_stale = %d, want 2", got)
 	}
 	close(entered)
 }
@@ -554,5 +593,225 @@ func TestLeaseFaultStallsLeader(t *testing.T) {
 	}
 	if role, term, _ := b.node.Role(); role != RoleLeader || term != 2 {
 		t.Fatalf("node-b = %s term %d, want leader term 2 after stalled lease", role, term)
+	}
+}
+
+// TestCrashedLeaderWithForkedTailRejoinsAndHeals pins the rejoin path
+// for the worst fork: a leader that journals a record, dies before
+// replicating it, and restarts after its successor's RecTerm landed at
+// the very position the dead record occupies. The two logs are then
+// exactly the same length — no length check can see the divergence —
+// and only the term-history reconciliation heals it.
+func TestCrashedLeaderWithForkedTailRejoinsAndHeals(t *testing.T) {
+	ctx := context.Background()
+	ids := []string{"node-a", "node-b"}
+	peers := make(map[string]string, len(ids))
+	holders := make(map[string]*atomic.Value, len(ids))
+	dirs := make(map[string]string, len(ids))
+	for _, id := range ids {
+		holder := &atomic.Value{}
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h, ok := holder.Load().(http.Handler); ok {
+				h.ServeHTTP(w, r)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		t.Cleanup(hs.Close)
+		peers[id] = hs.URL
+		holders[id] = holder
+		dirs[id] = t.TempDir()
+	}
+
+	// build opens one generation of a node over its persistent dir —
+	// the fleet helper can't restart a node, so this test wires its own.
+	build := func(id string) *testNode {
+		t.Helper()
+		store, err := durable.Open(ctx, dirs[id], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.NewFollower(ctx, serve.Config{NodeID: id, Workers: 1, QueueDepth: 8}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := New(ctx, Config{ID: id, Peers: peers, LeaseTicks: 2, StealMax: -1}, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", node.Handler())
+		mux.Handle("/", srv.Handler())
+		// Always store the same concrete type (atomic.Value requires it),
+		// so the mux and the 503 tombstone below can alternate.
+		holders[id].Store(http.HandlerFunc(mux.ServeHTTP))
+		return &testNode{
+			id: id, dir: dirs[id], store: store, srv: srv, node: node,
+			client: serve.NewRetryingClient(peers[id], serve.RetryPolicy{
+				MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond,
+			}),
+		}
+	}
+	shutdown := func(n *testNode) {
+		holders[n.id].Store(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		n.node.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := n.srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown %s: %v", n.id, err)
+		}
+		if err := n.store.Close(); err != nil {
+			t.Errorf("close store %s: %v", n.id, err)
+		}
+	}
+
+	a, b := build("node-a"), build("node-b")
+	t.Cleanup(func() { shutdown(b) })
+
+	// Real term-1 history, fully replicated: a dataset and one job run
+	// to completion.
+	info := uploadCompas(t, a.client, 200, 7)
+	st, err := a.client.SubmitJob(ctx, serve.JobRequest{Kind: "train", DatasetID: info.ID, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = a.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job: %+v, %v", st, err)
+	}
+	syncFleet(t, ctx, a, b)
+	shared := a.store.Journal().Sequence()
+
+	// node-a journals one more record that never goes out, then dies —
+	// the on-disk image of a leader that crashed between an append and
+	// its next replication tick.
+	if err := a.store.Journal().Append(ctx, durable.Record{
+		Type: durable.RecState, JobID: st.ID, State: durable.StateQueued,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(a)
+
+	// node-b waits out the lease and promotes: its term-2 RecTerm lands
+	// at position shared — where the dead leader's record sits — so the
+	// logs fork at equal length.
+	for i := 0; i < 3; i++ {
+		b.node.Tick(ctx)
+	}
+	if role, term, _ := b.node.Role(); role != RoleLeader || term != 2 {
+		t.Fatalf("node-b = %s term %d, want leader term 2", role, term)
+	}
+	if got := b.store.Journal().Sequence(); got != shared+1 {
+		t.Fatalf("leader log = %d records after promotion, want %d", got, shared+1)
+	}
+
+	// node-a restarts over its forked dir and rejoins as a follower of
+	// the term it last witnessed.
+	a2 := build("node-a")
+	t.Cleanup(func() { shutdown(a2) })
+	if role, term, _ := a2.node.Role(); role != RoleFollower || term != 1 {
+		t.Fatalf("restarted node-a = %s term %d, want follower term 1", role, term)
+	}
+	if got, want := a2.store.Journal().Sequence(), b.store.Journal().Sequence(); got != want {
+		t.Fatalf("precondition broken: forked logs differ in length (%d vs %d)", got, want)
+	}
+
+	// The first heartbeats reconcile: node-a's history says term 1 runs
+	// to the end of its log, node-b's says term 2 started at shared —
+	// so node-a truncates its forked tail and the stream re-fills it.
+	syncFleet(t, ctx, b, a2)
+
+	want, err := os.ReadFile(b.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(a2.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rejoined journal differs from leader's (%d vs %d bytes)", len(got), len(want))
+	}
+	if role, term, leader := a2.node.Role(); role != RoleFollower || term != 2 || leader != "node-b" {
+		t.Fatalf("rejoined node-a = %s term %d leader %s, want follower/2/node-b", role, term, leader)
+	}
+	if got := a2.srv.Metrics().Snapshot().Counters["cluster.log_truncations"]; got != 1 {
+		t.Fatalf("log_truncations on rejoined node = %d, want 1", got)
+	}
+}
+
+// TestConcurrentReplicateRequestsApplyOnce pins applyMu: a timed-out
+// send still executing while the retrying client's second attempt
+// arrives must not both observe the same log length and double-append
+// the shared records.
+func TestConcurrentReplicateRequestsApplyOnce(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+	syncFleet(t, ctx, a, b)
+
+	base := b.store.Journal().Sequence()
+	before := b.srv.Metrics().Snapshot().Counters["cluster.records_applied"]
+	req := replicateRequest{
+		Term: 1, Leader: "node-a", LeaderSeq: base + 2, FromSeq: base,
+		TermStarts: []termStart{{Term: 1, Leader: "node-a", Seq: 0}},
+		Records: []durable.Record{
+			{Type: durable.RecState, JobID: "job-000001", State: durable.StateQueued},
+			{Type: durable.RecState, JobID: "job-000001", State: durable.StateRunning},
+		},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, status, msg := b.node.applyReplicate(ctx, req)
+			if status != http.StatusOK {
+				t.Errorf("replicate: %d %s", status, msg)
+				return
+			}
+			if resp.HaveSeq != base+2 {
+				t.Errorf("HaveSeq = %d, want %d", resp.HaveSeq, base+2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.store.Journal().Sequence(); got != base+2 {
+		t.Fatalf("journal seq = %d after duplicate sends, want %d", got, base+2)
+	}
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.records_applied"] - before; got != 2 {
+		t.Fatalf("records applied = %d, want exactly 2", got)
+	}
+}
+
+// TestPromotionRecheckAbortsStaleDecision pins promote's under-lock
+// re-check: a promotion decided on stale observations — the wrong
+// term, or a lease a heartbeat has since renewed — must not append a
+// RecTerm.
+func TestPromotionRecheckAbortsStaleDecision(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+	syncFleet(t, ctx, a, b)
+	seq := b.store.Journal().Sequence()
+
+	// Decided at a term the node has since moved past.
+	if err := b.node.promote(ctx, 0, "node-a", true); err != nil {
+		t.Fatal(err)
+	}
+	// Decided on silence, but the lease clock is back at zero (the
+	// syncFleet heartbeats reset it).
+	if err := b.node.promote(ctx, 1, "node-a", true); err != nil {
+		t.Fatal(err)
+	}
+	if role, term, leader := b.node.Role(); role != RoleFollower || term != 1 || leader != "node-a" {
+		t.Fatalf("node-b = %s term %d leader %s after aborted promotions, want follower/1/node-a", role, term, leader)
+	}
+	if got := b.store.Journal().Sequence(); got != seq {
+		t.Fatalf("aborted promotion appended to the journal (%d → %d)", seq, got)
+	}
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.promotions"]; got != 0 {
+		t.Fatalf("promotions = %d, want 0", got)
 	}
 }

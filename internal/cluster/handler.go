@@ -64,7 +64,7 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
 		return
 	}
-	id, jreq, err := n.srv.StealQueued(r.Context(), req.Node)
+	id, jreq, attempt, err := n.srv.StealQueued(r.Context(), req.Node)
 	if errors.Is(err, serve.ErrNoStealable) {
 		clusterJSON(w, http.StatusOK, stealResponse{})
 		return
@@ -76,8 +76,8 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	n.stolen[id] = 0
 	n.mu.Unlock()
-	n.logger.Info("job stolen", "job", id, "by", req.Node)
-	clusterJSON(w, http.StatusOK, stealResponse{JobID: id, Request: jreq})
+	n.logger.Info("job stolen", "job", id, "by", req.Node, "attempt", attempt)
+	clusterJSON(w, http.StatusOK, stealResponse{JobID: id, Request: jreq, Attempt: attempt})
 }
 
 func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
@@ -91,7 +91,17 @@ func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
 		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
 		return
 	}
-	if err := n.srv.CompleteStolen(r.Context(), res.JobID, res.Final, res.Error, res.Result, res.Node); err != nil {
+	err := n.srv.CompleteStolen(r.Context(), res.JobID, res.Final, res.Error, res.Result, res.Node, res.Attempt)
+	if errors.Is(err, serve.ErrStaleAttempt) {
+		// A stealer that outlived its steal timeout: the job was
+		// re-queued (and possibly re-stolen) since. Drop the result — and
+		// leave the stolen table alone, because its entry for this job ID
+		// now tracks the newer steal, not this one.
+		n.metrics.Counter("cluster.steal_results_stale").Inc()
+		clusterJSON(w, http.StatusConflict, errBody{Error: "cluster: complete stolen: " + err.Error()})
+		return
+	}
+	if err != nil {
 		clusterJSON(w, http.StatusInternalServerError, errBody{Error: "cluster: complete stolen: " + err.Error()})
 		return
 	}

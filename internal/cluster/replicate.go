@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 
 	"repro/internal/durable"
@@ -12,15 +13,20 @@ import (
 
 // The replication wire protocol. One request carries a contiguous run
 // of journal records starting at FromSeq — empty for a pure heartbeat
-// — plus the sender's term and total log length. The response is the
-// receiver's term and how much log it now holds; Rejected means the
-// sender's term is stale and it must step down.
+// — plus the sender's term, total log length, and full term history
+// (TermStarts). The history is the fork fence: a follower whose own
+// term history disagrees with the leader's knows its log diverged at
+// the first disagreeing entry's position and truncates back to it
+// before accepting more records. The response is the receiver's term
+// and how much log it now holds; Rejected means the sender's term is
+// stale (or lost a same-term tie) and it must step down.
 type replicateRequest struct {
-	Term      uint64           `json:"term"`
-	Leader    string           `json:"leader"`
-	LeaderSeq uint64           `json:"leader_seq"`
-	FromSeq   uint64           `json:"from_seq"`
-	Records   []durable.Record `json:"records,omitempty"`
+	Term       uint64           `json:"term"`
+	Leader     string           `json:"leader"`
+	LeaderSeq  uint64           `json:"leader_seq"`
+	FromSeq    uint64           `json:"from_seq"`
+	TermStarts []termStart      `json:"term_starts,omitempty"`
+	Records    []durable.Record `json:"records,omitempty"`
 }
 
 type replicateResponse struct {
@@ -39,6 +45,7 @@ type replicateResponse struct {
 func (n *Node) replicateAll(ctx context.Context) {
 	n.mu.Lock()
 	term := n.term
+	starts := append([]termStart(nil), n.termStarts...)
 	type target struct {
 		p     *peerState
 		known bool
@@ -54,7 +61,7 @@ func (n *Node) replicateAll(ctx context.Context) {
 	seq := n.journal.Sequence()
 	minAcked := seq
 	for _, t := range targets {
-		req := replicateRequest{Term: term, Leader: n.cfg.ID, LeaderSeq: seq, FromSeq: seq}
+		req := replicateRequest{Term: term, Leader: n.cfg.ID, LeaderSeq: seq, FromSeq: seq, TermStarts: starts}
 		if t.known && t.acked < seq {
 			recs, err := durable.ReadJournalRange(ctx, n.journal.Path(), t.acked, uint64(n.cfg.BatchMax))
 			if err != nil {
@@ -94,10 +101,18 @@ func (n *Node) replicateAll(ctx context.Context) {
 }
 
 // applyReplicate is the follower half: terms are checked, the lease
-// clock resets, and the records land positionally via
-// AppendReplicated. It returns the response plus an HTTP status (a
-// non-200 status means the body is an error message, not a response).
+// clock resets, the term histories are reconciled (truncating a forked
+// local suffix), and the records land positionally via
+// AppendReplicated. The whole function runs under applyMu — two
+// concurrent requests for the same records (a timed-out send still
+// executing while the retrying client's second attempt arrives) must
+// not both observe the same log length and double-append. It returns
+// the response plus an HTTP status (a non-200 status means the body is
+// an error message, not a response).
 func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replicateResponse, int, string) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
 	n.mu.Lock()
 	if n.role == RoleDeposed {
 		n.mu.Unlock()
@@ -112,10 +127,30 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 			"from", req.Leader, "their_term", req.Term, "our_term", resp.Term)
 		return resp, http.StatusOK, ""
 	}
+	if req.Term == n.term && n.role == RoleLeader {
+		// Two nodes claim the same term: both sides of a partition
+		// promoted to it. Tie-break like the bootstrap election — lowest
+		// node ID wins — so exactly one survives contact: the higher ID
+		// deposes itself, the lower rejects so its caller steps down.
+		if req.Leader < n.cfg.ID {
+			n.mu.Unlock()
+			n.depose(req.Term, req.Leader, "same-term leader tie; lower node ID wins")
+			return replicateResponse{}, http.StatusServiceUnavailable,
+				"cluster: node is deposed; restart to rejoin"
+		}
+		resp := replicateResponse{Term: n.term, Leader: n.cfg.ID, Rejected: true}
+		n.mu.Unlock()
+		n.metrics.Counter("cluster.replicate_rejected").Inc()
+		n.logger.Warn("rejected same-term replication; this node holds the tie-break",
+			"from", req.Leader, "term", req.Term)
+		return resp, http.StatusOK, ""
+	}
 	if req.Term > n.term && n.role == RoleLeader {
 		// Another node leads a later term: this node's journal holds its
 		// own RecTerm (and possibly more) that the new leader's log does
-		// not — a fork. Step aside rather than guess.
+		// not — a fork, and this node's engine is live on it. Step aside;
+		// the restart rejoins as a follower, whose reconciliation below
+		// then heals the forked journal.
 		n.mu.Unlock()
 		n.depose(req.Term, req.Leader, "superseded while leading")
 		return replicateResponse{}, http.StatusServiceUnavailable,
@@ -129,6 +164,7 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	n.leader = req.Leader
 	n.missed = 0
 	term := n.term
+	mine := append([]termStart(nil), n.termStarts...)
 	n.mu.Unlock()
 	if adopted {
 		// Keep /readyz honest: a standby follower is still not-ready
@@ -138,9 +174,36 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	}
 
 	local := n.journal.Sequence()
+	if cut, forked := forkPoint(req.TermStarts, mine); forked && cut < local {
+		// The logs demonstrably diverge at cut: everything this node
+		// holds from there is a dead leadership's unreplicated tail, not
+		// the fleet's history. Cut it and let the stream re-fill — the
+		// rejoin path for a crashed leader whose fork would otherwise
+		// survive (it can be the same length as the fleet's log, so no
+		// length check can see it).
+		n.logger.Warn("local log forked from leader's; truncating",
+			"fork_at", cut, "local_seq", local, "leader", req.Leader, "term", req.Term)
+		if err := n.journal.TruncateTo(ctx, cut); err != nil {
+			n.logger.Error("fork truncation failed", "err", err)
+			return replicateResponse{}, http.StatusInternalServerError,
+				"cluster: fork truncation failed: " + err.Error()
+		}
+		n.mu.Lock()
+		kept := n.termStarts[:0]
+		for _, ts := range n.termStarts {
+			if ts.Seq < cut {
+				kept = append(kept, ts)
+			}
+		}
+		n.termStarts = kept
+		n.mu.Unlock()
+		n.metrics.Counter("cluster.log_truncations").Inc()
+		local = cut
+	}
 	if local > req.LeaderSeq {
-		// Our log is longer than the leader's whole log: a suffix nobody
-		// replicated to us — so it cannot be the fleet's history.
+		// Longer than the leader's whole log yet with an agreeing term
+		// history: not a shape replication can produce. Step aside rather
+		// than guess.
 		n.depose(req.Term, req.Leader, "log diverged from leader")
 		return replicateResponse{}, http.StatusServiceUnavailable,
 			"cluster: node is deposed; restart to rejoin"
@@ -164,6 +227,7 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 			// Track term history arriving through the log itself (a
 			// replayed election from before this node joined).
 			n.mu.Lock()
+			n.termStarts = append(n.termStarts, termStart{Term: rec.Term, Leader: rec.Leader, Seq: pos})
 			if rec.Term > n.term {
 				n.term, n.leader = rec.Term, rec.Leader
 				term = n.term
@@ -173,4 +237,32 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	}
 	n.metrics.Counter("cluster.records_applied").Add(applied)
 	return replicateResponse{Term: term, HaveSeq: n.journal.Sequence()}, http.StatusOK, ""
+}
+
+// forkPoint compares the leader's term history against the local one
+// and returns the position where the logs demonstrably diverge: the
+// first history entry the two sides disagree on. ok is false when the
+// histories are identical — then the local log is a true prefix of the
+// leader's, because every record after the last shared RecTerm was
+// appended by that entry's leader and replicated positionally from it.
+// When one history merely extends the other, the logs only fork from
+// the first extra entry's position; a local log that ends at or before
+// that position is just behind, which the caller's cut-versus-length
+// check excludes.
+func forkPoint(leader, local []termStart) (cut uint64, ok bool) {
+	k := 0
+	for k < len(leader) && k < len(local) && leader[k] == local[k] {
+		k++
+	}
+	if k == len(leader) && k == len(local) {
+		return 0, false
+	}
+	cut = math.MaxUint64
+	if k < len(leader) {
+		cut = leader[k].Seq
+	}
+	if k < len(local) && local[k].Seq < cut {
+		cut = local[k].Seq
+	}
+	return cut, true
 }

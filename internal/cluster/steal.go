@@ -15,7 +15,11 @@ import (
 // the leader for queued work (pull, never push: the leader stays the
 // only source of truth about what is queued). Both directions are
 // term-fenced — a steal or a result carrying a stale term is refused,
-// so a job can never complete under two leaderships.
+// so a job can never complete under two leaderships — and results are
+// additionally attempt-fenced: a stealer that outlives its steal
+// timeout reports the attempt it was handed, and the re-queued copy
+// runs under a later attempt, so the late result cannot finish a job
+// that is queued or running again.
 type stealRequest struct {
 	Term uint64 `json:"term"`
 	Node string `json:"node"`
@@ -26,15 +30,17 @@ type stealRequest struct {
 type stealResponse struct {
 	JobID   string           `json:"job_id"`
 	Request serve.JobRequest `json:"request"`
+	Attempt int              `json:"attempt"`
 }
 
 type stealResult struct {
-	Term   uint64          `json:"term"`
-	Node   string          `json:"node"`
-	JobID  string          `json:"job_id"`
-	Final  serve.State     `json:"final"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	Term    uint64          `json:"term"`
+	Node    string          `json:"node"`
+	JobID   string          `json:"job_id"`
+	Attempt int             `json:"attempt"`
+	Final   serve.State     `json:"final"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
 }
 
 // trySteal asks the leader for one queued job and, if one comes back,
@@ -66,9 +72,9 @@ func (n *Node) trySteal(ctx context.Context, term uint64, leader string) {
 	n.inflight++
 	n.mu.Unlock()
 	n.metrics.Counter("cluster.steals").Inc()
-	n.logger.Info("stole job", "job", resp.JobID, "from", leader)
+	n.logger.Info("stole job", "job", resp.JobID, "from", leader, "attempt", resp.Attempt)
 	n.wg.Add(1)
-	go n.runStolen(term, leader, resp.JobID, resp.Request)
+	go n.runStolen(term, leader, resp.JobID, resp.Attempt, resp.Request)
 }
 
 // runStolen executes one stolen job against this node's own pipeline
@@ -76,7 +82,7 @@ func (n *Node) trySteal(ctx context.Context, term uint64, leader string) {
 // node's lifetime context (Close cancels it); an undeliverable result
 // is logged and left to the leader's steal timeout, which re-queues
 // the job.
-func (n *Node) runStolen(term uint64, leader, id string, req serve.JobRequest) {
+func (n *Node) runStolen(term uint64, leader, id string, attempt int, req serve.JobRequest) {
 	defer n.wg.Done()
 	defer func() {
 		n.mu.Lock()
@@ -85,7 +91,7 @@ func (n *Node) runStolen(term uint64, leader, id string, req serve.JobRequest) {
 	}()
 	ctx := obs.WithLogger(obs.WithMetrics(n.baseCtx, n.metrics), n.logger)
 
-	out := stealResult{Term: term, Node: n.cfg.ID, JobID: id, Final: serve.StateDone}
+	out := stealResult{Term: term, Node: n.cfg.ID, JobID: id, Attempt: attempt, Final: serve.StateDone}
 	res, err := n.srv.RunRequest(ctx, req)
 	if err != nil {
 		out.Final, out.Error = serve.StateFailed, err.Error()

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/faults"
 )
 
@@ -301,5 +302,87 @@ func TestBreakerConcurrentHalfOpenProbe(t *testing.T) {
 	}
 	if hits.Load() == before {
 		t.Fatal("server never saw the probe")
+	}
+}
+
+// TestIdemOrderReleasedOnJournalFailure pins the dedup table's
+// bookkeeping on the Submit journal-failure path: a key whose
+// admission could not be journaled leaves both the table and the
+// insertion-order slice, so repeated failures cannot grow idemOrder
+// while the table itself stays small.
+func TestIdemOrderReleasedOnJournalFailure(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	store, err := durable.Open(ctx, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDurable(ctx, Config{Workers: 1, QueueDepth: 8}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+		if err := store.Close(); err != nil {
+			t.Errorf("close store: %v", err)
+		}
+	})
+	c := NewClient(hs.URL)
+	info := uploadCompas(t, c, 200, 7)
+
+	// One keyed job that lands durably, as the baseline table entry.
+	st, err := c.SubmitJob(ctx, JobRequest{Kind: "train", DatasetID: info.ID, IdempotencyKey: "keeper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("baseline job: %+v, %v", st, err)
+	}
+
+	// The journal refuses every further admission; each keyed submit
+	// fails after its key was provisionally inserted.
+	faults.Set(faults.JournalAppend, func(arg any) error {
+		if rec, ok := arg.(durable.Record); ok && rec.Type == durable.RecSubmit {
+			return errors.New("injected: submit append failed")
+		}
+		return nil
+	})
+	t.Cleanup(func() { faults.Clear(faults.JournalAppend) })
+	for i := 0; i < 10; i++ {
+		if _, err := c.SubmitJob(ctx, JobRequest{
+			Kind: "train", DatasetID: info.ID,
+			IdempotencyKey: fmt.Sprintf("leak-%02d", i),
+		}); err == nil {
+			t.Fatalf("submit %d under failing journal succeeded", i)
+		}
+	}
+	faults.Clear(faults.JournalAppend)
+
+	srv.engine.mu.Lock()
+	size, order := len(srv.engine.idem), len(srv.engine.idemOrder)
+	srv.engine.mu.Unlock()
+	if size != 1 || order != 1 {
+		t.Fatalf("idem table = %d keys / %d order entries after 10 failed keyed submissions, want 1/1", size, order)
+	}
+
+	// A failed key is fully released: reusing it admits a fresh job
+	// instead of deduping onto a submission that never became durable.
+	st2, err := c.SubmitJob(ctx, JobRequest{
+		Kind: "train", DatasetID: info.ID, IdempotencyKey: "leak-00",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("reused key deduped onto an unrelated job %s", st2.ID)
+	}
+	if st2, err = c.Wait(ctx, st2.ID, 5*time.Millisecond); err != nil || st2.State != StateDone {
+		t.Fatalf("job on reused key: %+v, %v", st2, err)
 	}
 }

@@ -35,6 +35,11 @@ var (
 	// ErrNoStealable is returned by StealQueued when nothing is queued
 	// for a remote node to take.
 	ErrNoStealable = errors.New("serve: no stealable job queued")
+	// ErrStaleAttempt is returned by CompleteStolen when the reported
+	// attempt is not the job's current one: the steal timed out and the
+	// job was re-queued (or re-run) since, so the late result must not
+	// finish the newer incarnation.
+	ErrStaleAttempt = errors.New("serve: stale steal attempt")
 )
 
 // job is the engine's internal record for one submitted job. The
@@ -258,6 +263,20 @@ func (e *engine) idemInsertLocked(key string, j *job) {
 	e.evictIdemLocked()
 }
 
+// idemDeleteLocked releases key from the dedup table and its insertion
+// order — the two must move together, or keys dropped from the table
+// (the Submit journal-failure path) accumulate in idemOrder until the
+// table next overflows its cap. Caller holds e.mu.
+func (e *engine) idemDeleteLocked(key string) {
+	delete(e.idem, key)
+	for i, k := range e.idemOrder {
+		if k == key {
+			e.idemOrder = append(e.idemOrder[:i], e.idemOrder[i+1:]...)
+			return
+		}
+	}
+}
+
 // evictIdemLocked bounds the dedup table: while it exceeds the cap,
 // the oldest keys whose jobs are terminal — their outcome already
 // journaled, since every terminal transition is journaled before it is
@@ -350,7 +369,7 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 		close(j.admitted)
 		if req.IdempotencyKey != "" {
 			e.mu.Lock()
-			delete(e.idem, req.IdempotencyKey)
+			e.idemDeleteLocked(req.IdempotencyKey)
 			e.mu.Unlock()
 		}
 		e.metrics.Counter("serve.journal_errors").Inc()
@@ -456,15 +475,16 @@ func (e *engine) restore(j *job) error {
 // StealQueued hands the oldest queued job to a remote node: the job
 // leaves the local queue, its running state is journaled with the
 // stealer's attribution, and the stealer executes it via RunRequest on
-// its own data. Terminal outcomes come back through CompleteStolen.
-// Jobs cancelled while queued are skipped (they are already finished);
-// an empty queue is ErrNoStealable.
-func (e *engine) StealQueued(ctx context.Context, node string) (*job, error) {
+// its own data. Terminal outcomes come back through CompleteStolen,
+// which fences on the returned attempt number. Jobs cancelled while
+// queued are skipped (they are already finished); an empty queue is
+// ErrNoStealable.
+func (e *engine) StealQueued(ctx context.Context, node string) (*job, int, error) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		return nil, ErrShuttingDown
+		return nil, 0, ErrShuttingDown
 	}
 	for {
 		select {
@@ -486,7 +506,7 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, error) {
 				j.finishLocked(StateFailed, "steal start not journaled: "+err.Error())
 				j.mu.Unlock()
 				e.metrics.Counter("serve.jobs_failed").Inc()
-				return nil, fmt.Errorf("serve: journal steal: %w", err)
+				return nil, 0, fmt.Errorf("serve: journal steal: %w", err)
 			}
 			j.mu.Lock()
 			if j.state.Terminal() { // cancelled in the journaling window
@@ -497,10 +517,10 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, error) {
 			j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
 			j.mu.Unlock()
 			e.metrics.Counter("serve.jobs_stolen").Inc()
-			e.logger.Info("job stolen", "job", j.id, "node", node)
-			return j, nil
+			e.logger.Info("job stolen", "job", j.id, "node", node, "attempt", attempt)
+			return j, attempt, nil
 		default:
-			return nil, ErrNoStealable
+			return nil, 0, ErrNoStealable
 		}
 	}
 }
@@ -508,8 +528,12 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, error) {
 // CompleteStolen lands a stolen job's terminal outcome, journaled with
 // the stealer's attribution before it becomes observable. Reporting an
 // already-terminal job is a no-op (a duplicate report after a retried
-// delivery must not double-finish it).
-func (e *engine) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string) error {
+// delivery must not double-finish it), and a report whose attempt is
+// not the job's current one is ErrStaleAttempt: the term alone cannot
+// fence a stealer that outlives its steal timeout, because the
+// re-queued copy runs under the same leadership — the attempt number
+// is the per-life fence.
+func (e *engine) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int) error {
 	if !final.Terminal() {
 		return fmt.Errorf("serve: stolen job %s reported non-terminal state %q", id, final)
 	}
@@ -517,19 +541,26 @@ func (e *engine) CompleteStolen(ctx context.Context, id string, final State, err
 	if err != nil {
 		return err
 	}
+	// j.mu is held across the fence check, the journal append, and the
+	// state change (the same discipline as Cancel): a RequeueStolen
+	// interleaving between check and append would re-queue the job under
+	// a new attempt and this result would then finish the wrong life.
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		j.mu.Unlock()
 		return nil
 	}
-	attempt := j.attempts
-	j.mu.Unlock()
+	if attempt != j.attempts {
+		e.metrics.Counter("serve.steal_results_stale").Inc()
+		e.logger.Warn("dropped stale stolen-job result",
+			"job", id, "node", node, "reported_attempt", attempt, "current_attempt", j.attempts)
+		return fmt.Errorf("%w: job %s is on attempt %d, result reports attempt %d",
+			ErrStaleAttempt, id, j.attempts, attempt)
+	}
 	if jerr := e.journalStateNode(ctx, id, final, errMsg, attempt, node); jerr != nil {
 		e.metrics.Counter("serve.journal_errors").Inc()
 		return fmt.Errorf("serve: journal steal result: %w", jerr)
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch final {
 	case StateDone:
 		if len(result) > 0 {
@@ -551,7 +582,11 @@ func (e *engine) CompleteStolen(ctx context.Context, id string, final State, err
 
 // RequeueStolen returns a stolen job to the queue after its stealer
 // died without reporting, burning one attempt — the same budget a
-// crash recovery charges. A spent budget fails the job.
+// crash recovery charges. A spent budget fails the job. j.mu is held
+// across the state check, the journal append, and the attempt bump, so
+// a late CompleteStolen cannot slip between them: it either lands
+// first (and the requeue sees a terminal job) or arrives after the
+// bump and is fenced off by its stale attempt.
 func (e *engine) RequeueStolen(ctx context.Context, id string) error {
 	j, err := e.Job(id)
 	if err != nil {
@@ -564,24 +599,23 @@ func (e *engine) RequeueStolen(ctx context.Context, id string) error {
 		return fmt.Errorf("serve: requeue stolen job %s: state is %s, not running", id, st)
 	}
 	attempt := j.attempts + 1
-	j.mu.Unlock()
 	if e.maxAttempts > 0 && attempt >= e.maxAttempts {
 		reason := fmt.Sprintf("stealer died; attempt budget exhausted (%d/%d)", attempt, e.maxAttempts)
 		if jerr := e.journalState(ctx, id, StateFailed, reason, attempt); jerr != nil {
+			j.mu.Unlock()
 			e.metrics.Counter("serve.journal_errors").Inc()
 			return fmt.Errorf("serve: journal steal failure: %w", jerr)
 		}
-		j.mu.Lock()
 		j.finishLocked(StateFailed, reason)
 		j.mu.Unlock()
 		e.metrics.Counter("serve.jobs_failed").Inc()
 		return nil
 	}
 	if jerr := e.journalState(ctx, id, StateQueued, "", attempt); jerr != nil {
+		j.mu.Unlock()
 		e.metrics.Counter("serve.journal_errors").Inc()
 		return fmt.Errorf("serve: journal steal requeue: %w", jerr)
 	}
-	j.mu.Lock()
 	j.state = StateQueued
 	j.attempts = attempt
 	j.started = time.Time{}

@@ -205,19 +205,21 @@ func (s *Server) RunRequest(ctx context.Context, req JobRequest) (any, error) {
 
 // StealQueued exposes the engine's work-stealing pop: the oldest
 // queued job leaves for node, which must report its outcome through
-// CompleteStolen (or be recovered by RequeueStolen).
-func (s *Server) StealQueued(ctx context.Context, node string) (string, JobRequest, error) {
-	j, err := s.engine.StealQueued(ctx, node)
+// CompleteStolen carrying the returned attempt number (or be recovered
+// by RequeueStolen).
+func (s *Server) StealQueued(ctx context.Context, node string) (string, JobRequest, int, error) {
+	j, attempt, err := s.engine.StealQueued(ctx, node)
 	if err != nil {
-		return "", JobRequest{}, err
+		return "", JobRequest{}, 0, err
 	}
-	return j.id, j.req, nil
+	return j.id, j.req, attempt, nil
 }
 
 // CompleteStolen lands a stolen job's terminal outcome (see the engine
-// method).
-func (s *Server) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string) error {
-	return s.engine.CompleteStolen(ctx, id, final, errMsg, result, node)
+// method). attempt must be the value StealQueued handed out; a report
+// for a superseded attempt is rejected with ErrStaleAttempt.
+func (s *Server) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int) error {
+	return s.engine.CompleteStolen(ctx, id, final, errMsg, result, node, attempt)
 }
 
 // RequeueStolen returns a stolen job to the queue after its stealer
