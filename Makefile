@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check bench fuzz
+.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check bench fuzz
 
 all: check
 
@@ -80,6 +80,15 @@ cluster-check:
 	$(GO) test -race -count=1 ./internal/cluster/
 	$(GO) test -race -count=1 -run 'Cluster' ./cmd/remedyd/
 
+# obs-fleet-check gates fleet observability: a three-node fleet steals
+# a job and the test asserts the leader's stitched trace carries spans
+# from every participating node ID under a deterministic trace ID, and
+# that /metrics/fleet's merged counters equal the sum of the per-node
+# registries — plus the lag/event-log surfaces — all under the race
+# detector.
+obs-fleet-check:
+	$(GO) test -race -count=1 -run 'ObsFleet' ./internal/cluster/
+
 # bench regenerates the committed BENCH_*.json perf artifact (see
 # EXPERIMENTS.md "Benchmark trajectory"). Usage: make bench OUT=BENCH_7.json
 OUT ?= BENCH_dev.json
@@ -90,5 +99,5 @@ fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzJournalReplay -fuzztime 30s
 
-check: build vet lint obs-check serve-check durable-check cluster-check race
+check: build vet lint obs-check serve-check durable-check cluster-check obs-fleet-check race
 	@echo "all checks passed"

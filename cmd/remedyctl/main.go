@@ -27,6 +27,13 @@
 // -mode identify accepts -tree for a Fig. 1-style hierarchy view, and
 // -mode audit accepts -save-model to export the trained model as JSON.
 //
+// With -serve-url, -mode status renders a live fleet table from one
+// round-trip to any node — per-node role, term, replication lag, queue
+// depth, and job outcomes, plus fleet-wide p50/p99 latency per HTTP
+// route estimated from the merged histograms:
+//
+//	remedyctl -mode status -serve-url http://localhost:8081
+//
 // With -serve-url the identify/remedy/audit modes run remotely: the
 // dataset is registered with a running remedyd, the mode is submitted
 // as an async job built from the same flags, and the CLI polls the
@@ -62,6 +69,7 @@ import (
 	_ "net/http/pprof" //lint:allow panicgate sanctioned: registers /debug/pprof for the opt-in -pprof server
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -94,7 +102,7 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	fs := flag.NewFlagSet("remedyctl", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		mode       = fs.String("mode", "audit", "identify | remedy | audit | attribute")
+		mode       = fs.String("mode", "audit", "identify | remedy | audit | attribute | status")
 		input      = fs.String("input", "", "input CSV (header row; label column 0/1)")
 		target     = fs.String("target", "", "label column name (required with -input)")
 		protected  = fs.String("protected", "", "comma-separated protected attribute names (required with -input)")
@@ -177,6 +185,13 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		}
 	}
 
+	if *mode == "status" {
+		if *serveURL == "" {
+			return fmt.Errorf("-mode status requires -serve-url")
+		}
+		return runStatus(ctx, *serveURL, *seed)
+	}
+
 	d, err := load(*input, *target, *protected, *dsName, *seed)
 	if err != nil {
 		return err
@@ -254,6 +269,83 @@ func servePprof(addr string, m *obs.Registry, lg *obs.Logger) error {
 		}
 	}()
 	return nil
+}
+
+// runStatus renders the fleet table: one GET /metrics/fleet against
+// any node (a follower forwards it to the leader, which fans out to
+// /cluster/obs on every peer), so the whole view costs the client one
+// round-trip. Per-node rows come from each node's own registry and
+// health; the route-latency table reads the merged histograms, so its
+// p50/p99 are fleet-wide quantiles estimated from summed buckets.
+func runStatus(ctx context.Context, baseURL string, seed int64) error {
+	client := serve.NewRetryingClient(baseURL, serve.RetryPolicy{Seed: seed})
+	fo, err := client.FleetObs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d node(s), leader %s, term %d\n", len(fo.Nodes), orDash(fo.Leader), fo.Term)
+
+	nodes := &experiments.Table{
+		Columns: []string{"Node", "Role", "Term", "Lag", "Queued", "Running", "Done", "Failed", "Cancelled", "Stolen"},
+	}
+	for _, n := range fo.Nodes {
+		if n.Err != "" {
+			nodes.Rows = append(nodes.Rows, []string{
+				orDash(n.NodeID), "unreachable", "-", "-", "-", "-", "-", "-", "-", "-",
+			})
+			continue
+		}
+		c := n.Metrics.Counters
+		nodes.Rows = append(nodes.Rows, []string{
+			orDash(n.NodeID), orDash(n.Role), fmt.Sprint(n.Term), fmt.Sprint(n.Lag),
+			fmt.Sprint(n.Health.Queued), fmt.Sprint(n.Health.Running),
+			fmt.Sprint(c["serve.jobs_done"]), fmt.Sprint(c["serve.jobs_failed"]),
+			fmt.Sprint(c["serve.jobs_cancelled"]), fmt.Sprint(c["serve.jobs_stolen"]),
+		})
+	}
+	if err := nodes.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	routes := &experiments.Table{Columns: []string{"Route", "Requests", "p50 ms", "p99 ms"}}
+	for _, name := range sortedNames(fo.Merged.Histograms) {
+		base, labels := obs.SplitLabels(name)
+		// Only the per-route series (the unlabeled family is the
+		// handler-wide aggregate), and only routes that saw traffic.
+		if base != "serve.http_duration_ms" || !strings.HasPrefix(labels, `{route="`) {
+			continue
+		}
+		h := fo.Merged.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		route := strings.TrimSuffix(strings.TrimPrefix(labels, `{route="`), `"}`)
+		routes.Rows = append(routes.Rows, []string{
+			route, fmt.Sprint(h.Count),
+			fmt.Sprintf("%.2f", h.Quantile(0.50)), fmt.Sprintf("%.2f", h.Quantile(0.99)),
+		})
+	}
+	if len(routes.Rows) == 0 {
+		return nil
+	}
+	fmt.Println()
+	return routes.Render(os.Stdout)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // runRemote is the -serve-url client mode: it registers the loaded

@@ -17,7 +17,9 @@
 //	curl http://localhost:8080/jobs/job-000001/result
 //
 // GET /healthz reports queue state; GET /metrics serves the obs
-// registry snapshot; DELETE /jobs/{id} cancels. On SIGINT/SIGTERM the
+// registry snapshot (?format=prom for Prometheus text exposition, and
+// /metrics/fleet for the merged fleet view); DELETE /jobs/{id}
+// cancels. On SIGINT/SIGTERM the
 // server stops accepting work, drains running jobs within
 // -drain-timeout, and marks everything else cancelled.
 //
@@ -118,6 +120,7 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		lease        = fs.Int("lease", 3, "leader lease in ticks; a follower promotes after a rank-staggered multiple of this much silence")
 		tick         = fs.Duration("tick", 500*time.Millisecond, "cluster tick interval (replication, lease, and steal cadence)")
 		stealMax     = fs.Int("steal-max", 1, "stolen jobs a follower runs concurrently (negative disables work stealing)")
+		slowJob      = fs.Duration("slow-job", 30*time.Second, "warn-log jobs slower than this with per-level span timings (0 disables)")
 		verbose      = fs.Bool("v", false, "info-level structured logging to stderr")
 		veryVerb     = fs.Bool("vv", false, "debug-level structured logging to stderr")
 	)
@@ -149,15 +152,16 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	lg := obs.NewLogger(errw, level)
 
 	cfg := serve.Config{
-		MaxDatasets:    *maxDatasets,
-		MaxUploadRows:  *maxRows,
-		MaxUploadBytes: *maxBytes,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobTimeout:     *jobTimeout,
-		MaxAttempts:    *maxAttempts,
-		NodeID:         *nodeID,
-		Logger:         lg,
+		MaxDatasets:      *maxDatasets,
+		MaxUploadRows:    *maxRows,
+		MaxUploadBytes:   *maxBytes,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		JobTimeout:       *jobTimeout,
+		MaxAttempts:      *maxAttempts,
+		NodeID:           *nodeID,
+		SlowJobThreshold: *slowJob,
+		Logger:           lg,
 	}
 	var srv *serve.Server
 	var node *cluster.Node

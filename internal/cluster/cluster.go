@@ -92,6 +92,9 @@ type Config struct {
 	// BatchMax bounds the records in one replication send (default
 	// 256); a further-behind follower catches up over several ticks.
 	BatchMax int
+	// EventCap bounds the operational event log behind /cluster/events
+	// (default 256 retained entries; the ring overwrites the oldest).
+	EventCap int
 	// Retry is the inter-node client policy (zero-value fields take
 	// serve.RetryPolicy's defaults).
 	Retry serve.RetryPolicy
@@ -116,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchMax == 0 {
 		c.BatchMax = 256
 	}
+	if c.EventCap == 0 {
+		c.EventCap = 256
+	}
 	return c
 }
 
@@ -139,6 +145,9 @@ type Node struct {
 	journal *durable.Journal
 	metrics *obs.Registry
 	logger  *obs.Logger
+	// events is the bounded operational event log behind
+	// /cluster/events: terms, promotions, depositions, steals.
+	events *obs.EventLog
 
 	// applyMu serializes every mutation of the local log and the role
 	// transitions that fence it: applyReplicate holds it end to end (two
@@ -198,6 +207,7 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 		journal: srv.Store().Journal(),
 		metrics: srv.Metrics(),
 		logger:  cfg.Logger.Scope("cluster"),
+		events:  obs.NewEventLog(cfg.EventCap),
 		role:    RoleFollower,
 		peers:   make(map[string]*peerState, len(cfg.Peers)),
 		stolen:  make(map[string]int),
@@ -221,6 +231,7 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 	}
 	srv.SetCluster(n)
 	srv.SetDatasetFetcher(n.fetchDataset)
+	srv.SetFleetObs(n.fleetObs)
 	if cfg.HTTP != nil {
 		srv.SetForwardClient(cfg.HTTP)
 	}
@@ -407,6 +418,7 @@ func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, co
 	n.mu.Unlock()
 	n.metrics.Counter("cluster.promotions").Inc()
 	n.metrics.Gauge("cluster.leader_term").Set(float64(newTerm))
+	n.events.Append("promoted", fmt.Sprintf("%s promoted to leader at term %d", n.cfg.ID, newTerm))
 	n.logger.Info("promoted to leader", "term", newTerm)
 	if err := n.srv.Promote(ctx); err != nil {
 		return fmt.Errorf("cluster: promote node %s: %w", n.cfg.ID, err)
@@ -434,8 +446,29 @@ func (n *Node) depose(term uint64, leader, why string) {
 	}
 	n.mu.Unlock()
 	n.metrics.Counter("cluster.stepdowns").Inc()
+	n.events.Append("deposed", fmt.Sprintf("%s deposed at term %d: %s", n.cfg.ID, term, why))
 	n.logger.Warn("deposed", "term", term, "why", why)
 	n.srv.SetNotReady(fmt.Sprintf("deposed (%s) at term %d; restart to rejoin the fleet", why, term))
+}
+
+// FollowerLag implements serve.FleetLag: on the leader, each known
+// follower's journal frames behind the local log — the early-warning
+// number /readyz and /metrics/fleet surface. Nil on non-leaders and
+// for peers whose position is still unknown.
+func (n *Node) FollowerLag() map[string]uint64 {
+	seq := n.journal.Sequence()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleLeader {
+		return nil
+	}
+	out := make(map[string]uint64, len(n.peers))
+	for id, p := range n.peers {
+		if p.known && p.acked <= seq {
+			out[id] = seq - p.acked
+		}
+	}
+	return out
 }
 
 // Close cancels the node's background stolen-job executors and waits

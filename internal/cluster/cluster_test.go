@@ -480,10 +480,11 @@ func TestStolenJobRequeuedAfterStealerSilence(t *testing.T) {
 
 	// Steal the queued job directly (as a stealer that then dies
 	// without ever reporting).
-	id, _, _, err := a.srv.StealQueued(ctx, "node-ghost")
+	grant, err := a.srv.StealQueued(ctx, "node-ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
+	id := grant.JobID
 	if id != st2.ID {
 		t.Fatalf("stole %s, want %s", id, st2.ID)
 	}
@@ -512,7 +513,7 @@ func TestStolenJobRequeuedAfterStealerSilence(t *testing.T) {
 	// The ghost stealer finally reports, carrying the attempt it was
 	// handed. The job's re-queued copy lives on attempt 1, so the term
 	// alone cannot fence this result — the attempt number does.
-	err = a.srv.CompleteStolen(ctx, id, serve.StateDone, "", nil, "node-ghost", 0)
+	err = a.srv.CompleteStolen(ctx, id, serve.StateDone, "", nil, "node-ghost", 0, nil)
 	if !errors.Is(err, serve.ErrStaleAttempt) {
 		t.Fatalf("late steal result: err = %v, want ErrStaleAttempt", err)
 	}

@@ -3,9 +3,11 @@ package cluster
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -23,6 +25,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/datasets/{id}", n.handleDatasetGet)
 	mux.HandleFunc("PUT /cluster/datasets/{id}", n.handleDatasetPut)
 	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	mux.HandleFunc("GET /cluster/obs", n.handleObs)
+	mux.HandleFunc("GET /cluster/events", n.handleEvents)
 	return mux
 }
 
@@ -64,7 +68,7 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
 		return
 	}
-	id, jreq, attempt, err := n.srv.StealQueued(r.Context(), req.Node)
+	grant, err := n.srv.StealQueued(r.Context(), req.Node)
 	if errors.Is(err, serve.ErrNoStealable) {
 		clusterJSON(w, http.StatusOK, stealResponse{})
 		return
@@ -74,10 +78,13 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.mu.Lock()
-	n.stolen[id] = 0
+	n.stolen[grant.JobID] = 0
 	n.mu.Unlock()
-	n.logger.Info("job stolen", "job", id, "by", req.Node, "attempt", attempt)
-	clusterJSON(w, http.StatusOK, stealResponse{JobID: id, Request: jreq, Attempt: attempt})
+	n.events.Append("steal", fmt.Sprintf("job %s stolen by %s (attempt %d)", grant.JobID, req.Node, grant.Attempt))
+	n.logger.Info("job stolen", "job", grant.JobID, "by", req.Node, "attempt", grant.Attempt)
+	clusterJSON(w, http.StatusOK, stealResponse{
+		JobID: grant.JobID, Request: grant.Request, Attempt: grant.Attempt, TraceID: grant.TraceID,
+	})
 }
 
 func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
@@ -91,7 +98,7 @@ func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
 		clusterJSON(w, http.StatusConflict, errBody{Error: msg})
 		return
 	}
-	err := n.srv.CompleteStolen(r.Context(), res.JobID, res.Final, res.Error, res.Result, res.Node, res.Attempt)
+	err := n.srv.CompleteStolen(r.Context(), res.JobID, res.Final, res.Error, res.Result, res.Node, res.Attempt, res.Spans)
 	if errors.Is(err, serve.ErrStaleAttempt) {
 		// A stealer that outlived its steal timeout: the job was
 		// re-queued (and possibly re-stolen) since. Drop the result — and
@@ -108,7 +115,24 @@ func (n *Node) handleStealResult(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	delete(n.stolen, res.JobID)
 	n.mu.Unlock()
+	n.events.Append("steal-result", fmt.Sprintf("job %s reported %s by %s", res.JobID, res.Final, res.Node))
 	clusterJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleObs serves this node's own observability snapshot — the
+// per-node unit the leader's /metrics/fleet aggregation pulls.
+func (n *Node) handleObs(w http.ResponseWriter, _ *http.Request) {
+	clusterJSON(w, http.StatusOK, n.srv.LocalNodeObs())
+}
+
+// handleEvents serves the bounded operational event log: term
+// changes, promotions, depositions, steals — oldest first, with
+// monotonic sequence numbers that survive ring wraparound.
+func (n *Node) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	clusterJSON(w, http.StatusOK, struct {
+		NodeID string           `json:"node_id"`
+		Events []obs.EventEntry `json:"events"`
+	}{n.cfg.ID, n.events.Snapshot()})
 }
 
 // checkStealFence admits a steal-protocol request only on the leader

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Fleet-wide observability aggregation: the leader answers GET
+// /metrics/fleet by snapshotting its own registry and pulling every
+// peer's /cluster/obs snapshot in one round of calls, then merging the
+// registries (obs.MergeSnapshots: counters sum, gauges keep per-node
+// labels, histograms merge bucket-wise). Followers never aggregate —
+// the serve layer forwards /metrics/fleet to the leader like any API
+// call — so one client round-trip to any node answers for the fleet.
+
+// fleetObs is installed as the serve layer's fleet-view hook at New.
+func (n *Node) fleetObs(ctx context.Context) (serve.FleetObs, error) {
+	n.mu.Lock()
+	role, term := n.role, n.term
+	n.mu.Unlock()
+	if role != RoleLeader {
+		// Reachable only in the handoff window where a just-deposed node
+		// still receives an already-forwarded request.
+		return serve.FleetObs{}, errors.New("cluster: fleet view: not the leader")
+	}
+	lag := n.FollowerLag()
+	local := n.srv.LocalNodeObs()
+	nodes := []serve.NodeObs{local}
+	parts := map[string]obs.Snapshot{local.NodeID: local.Metrics}
+	for _, id := range sortedKeys(n.peers) {
+		p := n.peers[id]
+		var no serve.NodeObs
+		if err := p.client.DoJSON(ctx, http.MethodGet, "/cluster/obs", nil, &no); err != nil {
+			// The unreachable node stays in the view with its error: its
+			// absence would read as health.
+			no = serve.NodeObs{NodeID: id, Err: err.Error()}
+		} else {
+			parts[no.NodeID] = no.Metrics
+		}
+		no.Lag = lag[id]
+		nodes = append(nodes, no)
+	}
+	return serve.FleetObs{
+		Leader: n.cfg.ID,
+		Term:   term,
+		Nodes:  nodes,
+		Merged: obs.MergeSnapshots(parts),
+	}, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // The replication wire protocol. One request carries a contiguous run
@@ -81,8 +82,15 @@ func (n *Node) replicateAll(ctx context.Context) {
 			n.logger.Error("replication request marshal failed", "err", err)
 			return
 		}
+		// The replication stream is a traced hop like any other: a
+		// deterministic per-send identity (leader/term/position — no
+		// entropy, no clock) rides the headers via the shared client.
+		sctx := obs.WithTraceContext(ctx, obs.TraceContext{
+			TraceID: fmt.Sprintf("%s/repl-t%d-s%06d", n.cfg.ID, term, seq),
+			Via:     n.cfg.ID,
+		})
 		var resp replicateResponse
-		if err := t.p.client.DoJSON(ctx, http.MethodPost, "/cluster/replicate", body, &resp); err != nil {
+		if err := t.p.client.DoJSON(sctx, http.MethodPost, "/cluster/replicate", body, &resp); err != nil {
 			n.logger.Warn("replication send failed", "peer", t.p.id, "err", err)
 			continue
 		}
@@ -93,6 +101,10 @@ func (n *Node) replicateAll(ctx context.Context) {
 		n.mu.Lock()
 		t.p.known, t.p.acked = true, resp.HaveSeq
 		n.mu.Unlock()
+		// Per-follower lag (frames behind this leader's journal): the
+		// number /readyz and the fleet view surface per node.
+		n.metrics.Gauge(obs.WithLabel("cluster.replication_lag", "peer", t.p.id)).
+			Set(float64(seq - resp.HaveSeq))
 		if resp.HaveSeq < minAcked {
 			minAcked = resp.HaveSeq
 		}
@@ -159,6 +171,7 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	if req.Term > n.term {
 		n.term = req.Term
 		n.metrics.Gauge("cluster.leader_term").Set(float64(req.Term))
+		n.events.Append("term", fmt.Sprintf("adopted term %d led by %s", req.Term, req.Leader))
 	}
 	adopted := n.leader != req.Leader
 	n.leader = req.Leader

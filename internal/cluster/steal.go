@@ -26,11 +26,14 @@ type stealRequest struct {
 }
 
 // stealResponse carries the stolen job, or a "" JobID when the queue
-// has nothing stealable.
+// has nothing stealable. TraceID is the job's cross-node trace
+// identity: the stealer runs under it and its spans graft back into
+// the same trace on the leader.
 type stealResponse struct {
 	JobID   string           `json:"job_id"`
 	Request serve.JobRequest `json:"request"`
 	Attempt int              `json:"attempt"`
+	TraceID string           `json:"trace_id,omitempty"`
 }
 
 type stealResult struct {
@@ -41,6 +44,9 @@ type stealResult struct {
 	Final   serve.State     `json:"final"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
+	// Spans is the stealer's span tree for the run, shipped home so the
+	// leader's per-job trace stitches into one cross-node timeline.
+	Spans []obs.SpanSnapshot `json:"spans,omitempty"`
 }
 
 // trySteal asks the leader for one queued job and, if one comes back,
@@ -74,15 +80,17 @@ func (n *Node) trySteal(ctx context.Context, term uint64, leader string) {
 	n.metrics.Counter("cluster.steals").Inc()
 	n.logger.Info("stole job", "job", resp.JobID, "from", leader, "attempt", resp.Attempt)
 	n.wg.Add(1)
-	go n.runStolen(term, leader, resp.JobID, resp.Attempt, resp.Request)
+	go n.runStolen(term, leader, resp.JobID, resp.Attempt, resp.TraceID, resp.Request)
 }
 
 // runStolen executes one stolen job against this node's own pipeline
 // and reports the outcome to the leader. The run is bounded by the
 // node's lifetime context (Close cancels it); an undeliverable result
 // is logged and left to the leader's steal timeout, which re-queues
-// the job.
-func (n *Node) runStolen(term uint64, leader, id string, attempt int, req serve.JobRequest) {
+// the job. The run records its spans under the job's trace ID on a
+// local tracer and ships the snapshot home with the result, so the
+// leader's GET /jobs/{id}/trace shows the remote execution inline.
+func (n *Node) runStolen(term uint64, leader, id string, attempt int, traceID string, req serve.JobRequest) {
 	defer n.wg.Done()
 	defer func() {
 		n.mu.Lock()
@@ -90,6 +98,16 @@ func (n *Node) runStolen(term uint64, leader, id string, attempt int, req serve.
 		n.mu.Unlock()
 	}()
 	ctx := obs.WithLogger(obs.WithMetrics(n.baseCtx, n.metrics), n.logger)
+	tr := obs.NewTracer()
+	tr.SetIdentity(n.cfg.ID, traceID)
+	ctx = obs.WithTracer(ctx, tr)
+	// Downstream hops of this run (shard fetch-on-miss, the result
+	// delivery below) carry the trace on their headers via the client.
+	ctx = obs.WithTraceContext(ctx, obs.TraceContext{TraceID: traceID, Via: n.cfg.ID})
+	ctx, sp := obs.StartSpan(ctx, "cluster.run_stolen")
+	sp.SetStr("job", id)
+	sp.SetStr("from", leader)
+	sp.SetInt("attempt", int64(attempt))
 
 	out := stealResult{Term: term, Node: n.cfg.ID, JobID: id, Attempt: attempt, Final: serve.StateDone}
 	res, err := n.srv.RunRequest(ctx, req)
@@ -98,6 +116,9 @@ func (n *Node) runStolen(term uint64, leader, id string, attempt int, req serve.
 	} else if out.Result, err = json.Marshal(res); err != nil {
 		out.Final, out.Error, out.Result = serve.StateFailed, "stolen result marshal: "+err.Error(), nil
 	}
+	sp.SetStr("final", string(out.Final))
+	sp.End()
+	out.Spans = tr.Snapshot()
 
 	body, err := json.Marshal(out)
 	if err != nil {
@@ -133,6 +154,7 @@ func (n *Node) expireStolen(ctx context.Context) {
 	for _, id := range expired {
 		n.logger.Warn("stolen job unreported past budget; re-queueing", "job", id)
 		n.metrics.Counter("cluster.steals_expired").Inc()
+		n.events.Append("steal-expired", "job "+id+" unreported past budget; re-queued")
 		if err := n.srv.RequeueStolen(ctx, id); err != nil {
 			n.logger.Error("re-queue of expired stolen job failed", "job", id, "err", err)
 		}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventLog is a bounded ring buffer of operational events — term
+// changes, promotions, depositions, steals. The cluster layer appends
+// on every state transition and /cluster/events serves the snapshot,
+// so "what happened to this fleet overnight" is answerable without log
+// scraping. Old entries are overwritten once the ring wraps; Seq is
+// monotonic across the whole history, so a reader can tell how many
+// entries it missed. All methods are safe on a nil receiver and for
+// concurrent use.
+type EventLog struct {
+	mu   sync.Mutex
+	ring []EventEntry
+	next uint64 // total events ever appended; next Seq
+}
+
+// EventEntry is one recorded operational event.
+type EventEntry struct {
+	// Seq numbers the event within the log's whole history (monotonic
+	// from 1), surviving ring wraparound.
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock time of the event.
+	At time.Time `json:"at"`
+	// Kind classifies the event ("promoted", "deposed", "term",
+	// "steal", ...).
+	Kind string `json:"kind"`
+	// Detail is a free-form description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewEventLog returns an event log holding the most recent capacity
+// entries (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]EventEntry, capacity)}
+}
+
+// Append records an event, evicting the oldest entry if the ring is
+// full.
+func (l *EventLog) Append(kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	l.ring[(l.next-1)%uint64(len(l.ring))] = EventEntry{
+		Seq:    l.next,
+		At:     time.Now(),
+		Kind:   kind,
+		Detail: detail,
+	}
+}
+
+// Snapshot returns the retained events, oldest first. Nil and empty
+// logs return nil.
+func (l *EventLog) Snapshot() []EventEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	capN := uint64(len(l.ring))
+	if n == 0 {
+		return nil
+	}
+	count := n
+	if count > capN {
+		count = capN
+	}
+	out := make([]EventEntry, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, l.ring[i%capN])
+	}
+	return out
+}
+
+// Len reports how many events are currently retained (0 on nil).
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next < uint64(len(l.ring)) {
+		return int(l.next)
+	}
+	return len(l.ring)
+}

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // This file is the one place the observability layer touches net/http:
@@ -22,6 +23,50 @@ func SnapshotHandler(src func() *Registry) http.Handler {
 		// WriteJSON is nil-receiver safe; encoding a snapshot cannot
 		// fail, so any error here is the client hanging up mid-write.
 		_ = src().WriteJSON(w) //lint:allow errdiscard best-effort write to a disconnecting client
+	})
+}
+
+// statusRecorder captures the response status for the per-route
+// request counter. WriteHeader may never be called (implicit 200), so
+// the zero state defaults to OK.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps next with per-route metrics on reg: a
+// request counter and latency histogram labeled by route and status
+// class, and an in-flight gauge labeled by route. route should be the
+// mux pattern ("POST /jobs"), not the raw URL, so cardinality stays
+// bounded. A nil registry returns next unwrapped — the uninstrumented
+// path stays zero-cost.
+func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	inflight := reg.Gauge(WithLabel("serve.http_inflight", "route", route))
+	hist := reg.Histogram(WithLabel("serve.http_duration_ms", "route", route), DefaultDurationBucketsMS)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Add(1)
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, r)
+		hist.Observe(float64(time.Since(start).Microseconds()) / 1000)
+		inflight.Add(-1)
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := []string{"1xx", "2xx", "3xx", "4xx", "5xx"}[min(max(status/100, 1), 5)-1]
+		name := WithLabel(WithLabel("serve.http_requests_total", "route", route), "status", class)
+		reg.Counter(name).Inc()
 	})
 }
 

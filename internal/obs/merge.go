@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metrics federation: every fleet node exposes its own Registry
+// snapshot, and the leader folds them into one fleet view. The merge
+// rules follow the instruments' semantics:
+//
+//   - counters are monotonic totals, so same-named counters sum;
+//   - gauges are point-in-time readings whose sum means nothing (two
+//     nodes' queue depths are two facts, not one), so each gauge keeps
+//     a per-node label: x → x{node="node-b"};
+//   - histograms with identical bucket layouts merge bucket-wise
+//     (counts, sums, and per-bucket tallies add, so fleet quantiles
+//     come from the merged buckets); layouts that disagree cannot be
+//     added meaningfully, so mismatched histograms fall back to
+//     per-node labels like gauges.
+//
+// Metric names may already carry a {key="value"} label suffix (the
+// per-route instruments); WithLabel appends to it.
+
+// WithLabel returns name with a key="value" label appended to its
+// label set, creating the {...} suffix if absent: x → x{k="v"},
+// x{a="b"} → x{a="b",k="v"}.
+func WithLabel(name, key, value string) string {
+	if strings.HasSuffix(name, "}") {
+		if i := strings.LastIndex(name, "{"); i >= 0 {
+			return name[:len(name)-1] + `,` + key + `="` + value + `"}`
+		}
+	}
+	return name + "{" + key + `="` + value + `"}`
+}
+
+// SplitLabels splits a metric name into its base and label suffix
+// ("" when unlabeled): `x{a="b"}` → `x`, `{a="b"}`.
+func SplitLabels(name string) (base, labels string) {
+	if strings.HasSuffix(name, "}") {
+		if i := strings.Index(name, "{"); i >= 0 {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
+// MergeSnapshots folds per-node registry snapshots into one fleet
+// snapshot keyed by node ID. Nodes are processed in sorted-ID order,
+// so the merge is deterministic: the same inputs produce the same
+// output regardless of map iteration order (first sorted node with a
+// given histogram name fixes its bucket layout; later mismatches keep
+// their per-node labels). Nil/empty snapshots merge as empty.
+func MergeSnapshots(parts map[string]Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	ids := make([]string, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		part := parts[id]
+		for name, v := range part.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range part.Gauges {
+			out.Gauges[WithLabel(name, "node", id)] = v
+		}
+		for name, h := range part.Histograms {
+			cur, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = HistogramSnapshot{
+					Count:   h.Count,
+					Sum:     h.Sum,
+					Bounds:  append([]float64(nil), h.Bounds...),
+					Buckets: append([]int64(nil), h.Buckets...),
+				}
+				continue
+			}
+			if merged, ok := cur.merge(h); ok {
+				out.Histograms[name] = merged
+				continue
+			}
+			// Incompatible bucket layout: this node's copy stays
+			// separate under a node label rather than being silently
+			// mis-added.
+			out.Histograms[WithLabel(name, "node", id)] = h
+		}
+	}
+	return out
+}

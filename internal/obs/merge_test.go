@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWithLabelAndSplit(t *testing.T) {
+	cases := []struct {
+		name, key, value, want string
+	}{
+		{"x", "node", "a", `x{node="a"}`},
+		{`x{route="/jobs"}`, "node", "a", `x{route="/jobs",node="a"}`},
+		{"serve.http_duration_ms", "route", "POST /jobs", `serve.http_duration_ms{route="POST /jobs"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabel(c.name, c.key, c.value); got != c.want {
+			t.Errorf("WithLabel(%q, %q, %q) = %q, want %q", c.name, c.key, c.value, got, c.want)
+		}
+	}
+	base, labels := SplitLabels(`x{a="b",c="d"}`)
+	if base != "x" || labels != `{a="b",c="d"}` {
+		t.Fatalf("SplitLabels = %q, %q", base, labels)
+	}
+	base, labels = SplitLabels("plain.name")
+	if base != "plain.name" || labels != "" {
+		t.Fatalf("SplitLabels(plain) = %q, %q", base, labels)
+	}
+}
+
+func TestMergeSnapshotsCountersSum(t *testing.T) {
+	merged := MergeSnapshots(map[string]Snapshot{
+		"node-a": {Counters: map[string]int64{"jobs": 3, "only_a": 1}},
+		"node-b": {Counters: map[string]int64{"jobs": 4}},
+		"node-c": {Counters: map[string]int64{"jobs": 5}},
+	})
+	if got := merged.Counters["jobs"]; got != 12 {
+		t.Fatalf("merged jobs = %d, want 12", got)
+	}
+	if got := merged.Counters["only_a"]; got != 1 {
+		t.Fatalf("merged only_a = %d, want 1", got)
+	}
+}
+
+func TestMergeSnapshotsGaugesKeepNodeLabels(t *testing.T) {
+	merged := MergeSnapshots(map[string]Snapshot{
+		"node-a": {Gauges: map[string]float64{"queue": 2}},
+		"node-b": {Gauges: map[string]float64{"queue": 7}},
+	})
+	if got := merged.Gauges[`queue{node="node-a"}`]; got != 2 {
+		t.Fatalf(`queue{node="node-a"} = %v, want 2`, got)
+	}
+	if got := merged.Gauges[`queue{node="node-b"}`]; got != 7 {
+		t.Fatalf(`queue{node="node-b"} = %v, want 7`, got)
+	}
+	if _, ok := merged.Gauges["queue"]; ok {
+		t.Fatal("unlabeled gauge survived the merge; node readings must stay distinct")
+	}
+}
+
+func TestMergeSnapshotsHistogramsBucketWise(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	bounds := []float64{1, 10, 100}
+	for _, v := range []float64{0.5, 5, 50} {
+		ra.Histogram("lat", bounds).Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		rb.Histogram("lat", bounds).Observe(v)
+	}
+	merged := MergeSnapshots(map[string]Snapshot{
+		"node-a": ra.Snapshot(), "node-b": rb.Snapshot(),
+	})
+	h, ok := merged.Histograms["lat"]
+	if !ok {
+		t.Fatal("matching-bounds histograms did not merge under the base name")
+	}
+	if h.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", h.Count)
+	}
+	if h.Sum != 560.5 {
+		t.Fatalf("merged sum = %v, want 560.5", h.Sum)
+	}
+	want := []int64{1, 2, 1, 1} // ≤1, ≤10, ≤100, overflow
+	for i, b := range h.Buckets {
+		if b != want[i] {
+			t.Fatalf("merged buckets = %v, want %v", h.Buckets, want)
+		}
+	}
+}
+
+func TestMergeSnapshotsMismatchedBoundsStaySeparate(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("lat", []float64{1, 10}).Observe(5)
+	rb.Histogram("lat", []float64{2, 20}).Observe(5)
+	merged := MergeSnapshots(map[string]Snapshot{
+		"node-a": ra.Snapshot(), "node-b": rb.Snapshot(),
+	})
+	// Sorted-ID order fixes the layout: node-a's copy owns the base
+	// name, node-b's incompatible copy keeps a node label.
+	if h, ok := merged.Histograms["lat"]; !ok || h.Count != 1 || h.Bounds[0] != 1 {
+		t.Fatalf("base histogram = %+v, ok=%v; want node-a's copy", h, ok)
+	}
+	h, ok := merged.Histograms[`lat{node="node-b"}`]
+	if !ok || h.Count != 1 || h.Bounds[0] != 2 {
+		t.Fatalf(`lat{node="node-b"} = %+v, ok=%v; want node-b's copy`, h, ok)
+	}
+}
+
+func TestMergeSnapshotsNilAndEmpty(t *testing.T) {
+	merged := MergeSnapshots(nil)
+	if len(merged.Counters)+len(merged.Gauges)+len(merged.Histograms) != 0 {
+		t.Fatalf("merge of nil parts = %+v, want empty", merged)
+	}
+	merged = MergeSnapshots(map[string]Snapshot{
+		"node-a": {},
+		"node-b": {Counters: map[string]int64{"jobs": 1}},
+	})
+	if got := merged.Counters["jobs"]; got != 1 {
+		t.Fatalf("merge with empty part lost data: %+v", merged)
+	}
+}
+
+func TestMergeSnapshotsDeterministic(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("lat", []float64{1, 10}).Observe(5)
+	rb.Histogram("lat", []float64{2, 20}).Observe(5)
+	parts := map[string]Snapshot{"node-a": ra.Snapshot(), "node-b": rb.Snapshot()}
+	first := MergeSnapshots(parts)
+	for i := 0; i < 50; i++ {
+		again := MergeSnapshots(parts)
+		if len(again.Histograms) != len(first.Histograms) {
+			t.Fatalf("merge %d differs: %+v vs %+v", i, again, first)
+		}
+		for name := range first.Histograms {
+			if _, ok := again.Histograms[name]; !ok {
+				t.Fatalf("merge %d lost %q", i, name)
+			}
+		}
+	}
+}
+
+// TestMergeWhileObserving merges snapshots while the source registries
+// keep taking writes — the registry snapshot must be a consistent copy
+// the merge can read without racing the instruments (run under -race).
+func TestMergeWhileObserving(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, r := range []*Registry{ra, rb} {
+		wg.Add(1)
+		go func(r *Registry) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("jobs").Inc()
+				r.Gauge("queue").Set(float64(i))
+				r.Histogram("lat", DefaultDurationBucketsMS).Observe(float64(i % 100))
+			}
+		}(r)
+	}
+	for i := 0; i < 200; i++ {
+		merged := MergeSnapshots(map[string]Snapshot{
+			"node-a": ra.Snapshot(), "node-b": rb.Snapshot(),
+		})
+		if h, ok := merged.Histograms["lat"]; ok {
+			var inBuckets int64
+			for _, b := range h.Buckets {
+				inBuckets += b
+			}
+			if inBuckets != h.Count {
+				t.Fatalf("merged histogram torn: buckets sum %d, count %d", inBuckets, h.Count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQuantileFromMergedBuckets(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	bounds := []float64{10, 20, 30, 40}
+	// 40 observations uniformly inside ≤10 on node-a, 40 inside (30,40]
+	// on node-b: the merged median sits at the 10/20 boundary and the
+	// p99 deep inside node-b's bucket.
+	for i := 0; i < 40; i++ {
+		ra.Histogram("lat", bounds).Observe(5)
+		rb.Histogram("lat", bounds).Observe(35)
+	}
+	merged := MergeSnapshots(map[string]Snapshot{
+		"node-a": ra.Snapshot(), "node-b": rb.Snapshot(),
+	})
+	h := merged.Histograms["lat"]
+	if p50 := h.Quantile(0.5); p50 < 5 || p50 > 10 {
+		t.Fatalf("merged p50 = %v, want within (0,10]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 30 || p99 > 40 {
+		t.Fatalf("merged p99 = %v, want within (30,40]", p99)
+	}
+	if empty := (HistogramSnapshot{Bounds: bounds, Buckets: make([]int64, 5)}); empty.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", empty.Quantile(0.5))
+	}
+	// A quantile landing in the overflow bucket saturates at the last
+	// finite bound rather than inventing an upper edge.
+	ra2 := NewRegistry()
+	ra2.Histogram("big", []float64{1}).Observe(1e9)
+	if q := ra2.Snapshot().Histograms["big"].Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want saturation at 1", q)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(WithLabel("serve.http_requests_total", "route", "POST /jobs")).Add(3)
+	r.Counter(WithLabel("serve.http_requests_total", "route", "GET /jobs")).Add(2)
+	r.Gauge("cluster.replication_lag").Set(2)
+	r.Histogram("serve.http_duration_ms", []float64{1, 10}).Observe(5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_http_requests_total counter",
+		`serve_http_requests_total{route="POST /jobs"} 3`,
+		"# TYPE cluster_replication_lag gauge",
+		"cluster_replication_lag 2",
+		"# TYPE serve_http_duration_ms histogram",
+		`serve_http_duration_ms_bucket{le="1"} 0`,
+		`serve_http_duration_ms_bucket{le="10"} 1`,
+		`serve_http_duration_ms_bucket{le="+Inf"} 1`,
+		"serve_http_duration_ms_sum 5",
+		"serve_http_duration_ms_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// One # TYPE line per metric family, not per labeled series.
+	if got := strings.Count(out, "# TYPE serve_http_requests_total counter"); got != 1 {
+		t.Errorf("TYPE line emitted %d times for one family:\n%s", got, out)
+	}
+	if !strings.Contains(out, `serve_http_requests_total{route="GET /jobs"} 2`) {
+		t.Errorf("second labeled series missing:\n%s", out)
+	}
+}
+
+func TestEventLogRingAndSeq(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append("kind", string(rune('a'+i)))
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(got))
+	}
+	// Oldest-first, and the monotonic Seq survives wraparound.
+	for i, e := range got {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Fatalf("entry %d seq = %d, want %d (snapshot %+v)", i, e.Seq, want, got)
+		}
+	}
+	if got[0].Detail != "c" || got[2].Detail != "e" {
+		t.Fatalf("ring order wrong: %+v", got)
+	}
+	var nilLog *EventLog
+	nilLog.Append("kind", "ignored")
+	if s := nilLog.Snapshot(); s != nil {
+		t.Fatalf("nil event log snapshot = %+v, want nil", s)
+	}
+}

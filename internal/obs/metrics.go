@@ -70,6 +70,22 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Add adjusts the gauge by delta (negative to decrease) with a CAS
+// loop — the in-flight-request counter pattern, where concurrent
+// entries and exits must not lose updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Histogram is a fixed-bucket histogram: observation i lands in the
 // first bucket whose upper bound is >= v, or the overflow bucket.
 // Observations also accumulate an atomic count and sum. Methods are
@@ -176,6 +192,78 @@ type HistogramSnapshot struct {
 	// entry for observations above the last bound.
 	Bounds  []float64 `json:"bounds"`
 	Buckets []int64   `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation inside the target bucket — the
+// standard Prometheus-style estimate, usable on a single node's
+// snapshot or on buckets merged across a fleet. The overflow bucket
+// has no upper bound, so a quantile landing there reports the last
+// finite bound (the estimate saturates). An empty histogram is 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Buckets {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: unbounded above, so saturate at the last
+			// finite bound.
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// merge adds other's observations into h bucket-wise; ok is false when
+// the bucket layouts differ (the caller keeps them separate instead).
+func (h HistogramSnapshot) merge(other HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(h.Bounds) != len(other.Bounds) || len(h.Buckets) != len(other.Buckets) {
+		return h, false
+	}
+	for i, b := range h.Bounds {
+		if other.Bounds[i] != b {
+			return h, false
+		}
+	}
+	out := HistogramSnapshot{
+		Count:   h.Count + other.Count,
+		Sum:     h.Sum + other.Sum,
+		Bounds:  append([]float64(nil), h.Bounds...),
+		Buckets: make([]int64, len(h.Buckets)),
+	}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] + other.Buckets[i]
+	}
+	return out, true
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.

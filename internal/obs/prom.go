@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus-style text exposition (the exposition format, version
+// 0.0.4) for a Snapshot. remedyd serves it at /metrics?format=prom so
+// a standard scraper can read the same registry the JSON endpoint
+// exposes — no client library, just the text rules: one
+// `name{labels} value` line per sample, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+
+// promName rewrites a metric base name into the exposition grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other separators become
+// underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSplit separates a registry metric name into an
+// exposition-sanitized base and its label body (the inside of the
+// {...}, "" when unlabeled): `x.y{node="a"}` → `x_y`, `node="a"`.
+func promSplit(name string) (base, labels string) {
+	base, lab := SplitLabels(name)
+	if lab != "" {
+		lab = strings.TrimSuffix(strings.TrimPrefix(lab, "{"), "}")
+	}
+	return promName(base), lab
+}
+
+// promSample writes one sample line, merging the metric's own labels
+// with an optional extra label (the histogram le).
+func promSample(w io.Writer, base, labels, extra string, value any) error {
+	body := labels
+	if extra != "" {
+		if body != "" {
+			body += ","
+		}
+		body += extra
+	}
+	if body != "" {
+		body = "{" + body + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %v\n", base, body, value)
+	return err
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition
+// format, in sorted-name order so the output is deterministic.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// One # TYPE line per metric family: labeled series of the same
+	// base sort adjacently, so a change in base marks a new family.
+	lastType := ""
+	for _, n := range names {
+		base, labels := promSplit(n)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		if err := promSample(w, base, labels, "", s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastType = ""
+	for _, n := range names {
+		base, labels := promSplit(n)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		if err := promSample(w, base, labels, "", s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastType = ""
+	for _, n := range names {
+		h := s.Histograms[n]
+		base, labels := promSplit(n)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		var cum int64
+		for i, b := range h.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			if err := promSample(w, base+"_bucket", labels, fmt.Sprintf("le=%q", le), cum); err != nil {
+				return err
+			}
+		}
+		if err := promSample(w, base+"_sum", labels, "", h.Sum); err != nil {
+			return err
+		}
+		if err := promSample(w, base+"_count", labels, "", h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// Cross-node trace propagation. A TraceContext is the portable part of
+// a trace — the correlation ID plus the sender-side span it continues —
+// carried on HTTP hops between fleet members (client submissions,
+// follower→leader forwarding, replication, steal requests, shard
+// fetches) as two headers. IDs are deterministic by construction: the
+// serving layer derives them from node IDs and its own sequence
+// counters, never from entropy or the clock, so the same workload
+// schedule reproduces the same trace IDs.
+
+// Trace propagation headers. The X-Remedy- prefix matches the
+// forwarding header the serve layer already uses.
+const (
+	// HeaderTraceID carries the cross-node trace correlation ID.
+	HeaderTraceID = "X-Remedy-Trace-Id"
+	// HeaderSpanID carries the sender-side span the receiver's work
+	// continues (informational: receivers record it as an attribute,
+	// they do not re-parent under it).
+	HeaderSpanID = "X-Remedy-Span-Id"
+)
+
+// TraceContext is the wire-portable identity of a trace.
+type TraceContext struct {
+	// TraceID is the cross-node correlation ID ("" = no trace).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID names the sender-side span this hop continues, as a
+	// string (tracer span IDs are local; the pair node/span only means
+	// something to the sender's tracer).
+	SpanID string `json:"span_id,omitempty"`
+	// Via names the hop that relayed the context (the forwarding
+	// follower, the stealing node). It never travels in the trace
+	// headers — relays identify themselves out of band (the serve
+	// layer's forwarded header) — but receivers record it on span
+	// events for the stitched timeline.
+	Via string `json:"via,omitempty"`
+}
+
+// Empty reports whether the context carries no trace.
+func (tc TraceContext) Empty() bool { return tc.TraceID == "" }
+
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc. An empty tc returns
+// ctx unchanged.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if tc.Empty() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context carried by ctx (the zero
+// value when none is installed).
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// InjectHTTP writes tc into h. An empty context injects nothing, so
+// un-traced requests stay header-clean.
+func InjectHTTP(h http.Header, tc TraceContext) {
+	if tc.Empty() {
+		return
+	}
+	h.Set(HeaderTraceID, tc.TraceID)
+	if tc.SpanID != "" {
+		h.Set(HeaderSpanID, tc.SpanID)
+	}
+}
+
+// ExtractHTTP reads a trace context from h; ok is false when no trace
+// ID header is present.
+func ExtractHTTP(h http.Header) (TraceContext, bool) {
+	tc := TraceContext{TraceID: h.Get(HeaderTraceID), SpanID: h.Get(HeaderSpanID)}
+	return tc, !tc.Empty()
+}

@@ -21,12 +21,48 @@ type Tracer struct {
 	epoch  time.Time
 	spans  []*Span
 	nextID uint64
+
+	// Fleet identity (optional): node names the process recording the
+	// spans and traceID is the cross-node correlation key. Both are
+	// empty for a plain single-process tracer; SetIdentity installs
+	// them, snapshots carry them, and Graft stitches remote subtrees
+	// from other nodes into this tracer's tree.
+	node    string
+	traceID string
+	// grafted holds span snapshots imported from other nodes' tracers,
+	// re-IDed into this tracer's ID space (see Graft).
+	grafted []SpanSnapshot
 }
 
 // NewTracer returns an empty tracer. Its epoch (the zero offset of
 // every span's start time) is the moment of creation.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetIdentity names the tracer's node and cross-node trace ID. Both
+// appear on every snapshot: the node on each span, the trace ID on the
+// trace document. Callers derive the trace ID deterministically (node
+// ID + a local sequence number) so the same workload schedule yields
+// the same IDs — there is no entropy here. No-op on nil.
+func (t *Tracer) SetIdentity(node, traceID string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.node, t.traceID = node, traceID
+	t.mu.Unlock()
+}
+
+// Identity returns the node name and trace ID installed by
+// SetIdentity ("", "" on a plain or nil tracer).
+func (t *Tracer) Identity() (node, traceID string) {
+	if t == nil {
+		return "", ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node, t.traceID
 }
 
 // Span is one timed operation in the trace tree. Starting a span
@@ -148,28 +184,39 @@ func (s *Span) Event(name, attr string) {
 // microsecond offsets from the tracer epoch; DurationUS is 0 for
 // unfinished spans.
 type SpanSnapshot struct {
-	ID         uint64  `json:"id"`
-	Parent     uint64  `json:"parent,omitempty"`
-	Name       string  `json:"name"`
-	StartUS    int64   `json:"start_us"`
-	DurationUS int64   `json:"duration_us"`
-	Unfinished bool    `json:"unfinished,omitempty"`
-	Attrs      []Attr  `json:"attrs,omitempty"`
-	Events     []Event `json:"events,omitempty"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// Node names the fleet member that recorded the span (empty on a
+	// tracer without an identity). A stitched trace mixes nodes: local
+	// spans carry this tracer's node, grafted ones keep their origin's.
+	Node       string `json:"node,omitempty"`
+	StartUS    int64  `json:"start_us"`
+	DurationUS int64  `json:"duration_us"`
+	Unfinished bool   `json:"unfinished,omitempty"`
+	// Remote marks a span grafted from another node's tracer; its
+	// StartUS is an offset from that node's epoch, not this one's, so
+	// remote timings are internally consistent but not directly
+	// comparable to local offsets.
+	Remote bool    `json:"remote,omitempty"`
+	Attrs  []Attr  `json:"attrs,omitempty"`
+	Events []Event `json:"events,omitempty"`
 }
 
-// Snapshot returns every span recorded so far in start order. Spans
+// Snapshot returns every span recorded so far in start order — local
+// spans first, then grafted remote subtrees in graft order. Spans
 // still open are included with Unfinished set, so a snapshot taken
 // after a cancellation is complete for the work that did run.
 func (t *Tracer) Snapshot() []SpanSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SpanSnapshot, len(t.spans))
+	out := make([]SpanSnapshot, len(t.spans), len(t.spans)+len(t.grafted))
 	for i, sp := range t.spans {
 		ss := SpanSnapshot{
 			ID:      sp.id,
 			Parent:  sp.parent,
 			Name:    sp.name,
+			Node:    t.node,
 			StartUS: sp.start.Microseconds(),
 			Attrs:   append([]Attr(nil), sp.attrs...),
 			Events:  append([]Event(nil), sp.events...),
@@ -182,18 +229,70 @@ func (t *Tracer) Snapshot() []SpanSnapshot {
 		out[i] = ss
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append(out, append([]SpanSnapshot(nil), t.grafted...)...)
+}
+
+// Graft stitches a remote node's span subtree into this tracer's tree:
+// the spans are re-IDed into this tracer's ID space (preserving their
+// internal parent structure), roots of the remote tree are re-parented
+// under parentID (0 grafts at the trace root), spans without a node
+// are attributed to node, and every grafted span is marked Remote.
+// This is how a stolen job's follower-side spans land back on the
+// leader's per-job tracer, yielding one queryable timeline. No-op on a
+// nil tracer.
+func (t *Tracer) Graft(parentID uint64, node string, spans []SpanSnapshot) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idmap := make(map[uint64]uint64, len(spans))
+	for _, ss := range spans {
+		t.nextID++
+		idmap[ss.ID] = t.nextID
+	}
+	for _, ss := range spans {
+		ss.ID = idmap[ss.ID]
+		if mapped, ok := idmap[ss.Parent]; ok {
+			ss.Parent = mapped
+		} else {
+			ss.Parent = parentID
+		}
+		if ss.Node == "" {
+			ss.Node = node
+		}
+		ss.Remote = true
+		ss.Attrs = append([]Attr(nil), ss.Attrs...)
+		ss.Events = append([]Event(nil), ss.Events...)
+		t.grafted = append(t.grafted, ss)
+	}
+}
+
+// TraceDoc is the exported form of a whole trace: its cross-node
+// identity plus every span. It is the body of GET /jobs/{id}/trace and
+// the -trace-out dump.
+type TraceDoc struct {
+	TraceID string         `json:"trace_id,omitempty"`
+	Node    string         `json:"node,omitempty"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+// Doc snapshots the whole trace with its identity.
+func (t *Tracer) Doc() TraceDoc {
+	if t == nil {
+		return TraceDoc{}
+	}
+	node, traceID := t.Identity()
+	return TraceDoc{TraceID: traceID, Node: node, Spans: t.Snapshot()}
 }
 
 // WriteJSON dumps the trace as an indented JSON document:
-// {"spans": [...]}. Valid at any moment, including mid-pipeline.
+// {"trace_id": ..., "spans": [...]}. Valid at any moment, including
+// mid-pipeline.
 func (t *Tracer) WriteJSON(w io.Writer) error {
-	doc := struct {
-		Spans []SpanSnapshot `json:"spans"`
-	}{Spans: t.Snapshot()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(t.Doc())
 }
 
 // WriteTree renders the span hierarchy as an indented text tree with

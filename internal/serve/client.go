@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Client is an HTTP client for a running remedyd, speaking the same
@@ -103,6 +104,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body io.Reade
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Carry the caller's trace across the hop (no-op when untraced), so
+	// client submissions and inter-node calls join one timeline.
+	obs.InjectHTTP(req.Header, obs.TraceContextFrom(ctx))
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -239,4 +243,22 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// Trace fetches a job's stitched trace document from
+// GET /jobs/{id}/trace.
+func (c *Client) Trace(ctx context.Context, id string) (obs.TraceDoc, error) {
+	var doc obs.TraceDoc
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id)+"/trace", nil, &doc)
+	return doc, err
+}
+
+// FleetObs fetches the fleet-wide observability view from
+// GET /metrics/fleet. Pointing at a follower works: the request
+// forwards to the leader like any API call, so one round-trip answers
+// for the whole fleet.
+func (c *Client) FleetObs(ctx context.Context) (FleetObs, error) {
+	var fo FleetObs
+	err := c.do(ctx, http.MethodGet, "/metrics/fleet", nil, &fo)
+	return fo, err
 }

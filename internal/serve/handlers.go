@@ -14,23 +14,31 @@ import (
 )
 
 // routes builds the server's mux. All routing uses the standard
-// library's method-and-wildcard patterns; there is no framework.
+// library's method-and-wildcard patterns; there is no framework. Every
+// route is registered through obs.InstrumentHandler, so each one gets
+// a latency histogram, an in-flight gauge, and a status-class counter
+// labeled by the pattern string (bounded cardinality: patterns, not
+// URLs).
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
-	mux.HandleFunc("GET /datasets", s.handleDatasetList)
-	mux.HandleFunc("GET /datasets/{id}", s.handleDatasetGet)
-	mux.HandleFunc("DELETE /datasets/{id}", s.handleDatasetDelete)
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /jobs", s.handleJobList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /livez", s.handleLivez)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /metrics", obs.SnapshotHandler(func() *obs.Registry { return s.metrics }))
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, obs.InstrumentHandler(s.metrics, pattern, h))
+	}
+	handle("POST /datasets", http.HandlerFunc(s.handleDatasetUpload))
+	handle("GET /datasets", http.HandlerFunc(s.handleDatasetList))
+	handle("GET /datasets/{id}", http.HandlerFunc(s.handleDatasetGet))
+	handle("DELETE /datasets/{id}", http.HandlerFunc(s.handleDatasetDelete))
+	handle("POST /jobs", http.HandlerFunc(s.handleJobSubmit))
+	handle("GET /jobs", http.HandlerFunc(s.handleJobList))
+	handle("GET /jobs/{id}", http.HandlerFunc(s.handleJobGet))
+	handle("DELETE /jobs/{id}", http.HandlerFunc(s.handleJobCancel))
+	handle("GET /jobs/{id}/result", http.HandlerFunc(s.handleJobResult))
+	handle("GET /jobs/{id}/trace", http.HandlerFunc(s.handleJobTrace))
+	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /livez", http.HandlerFunc(s.handleLivez))
+	handle("GET /readyz", http.HandlerFunc(s.handleReadyz))
+	handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	handle("GET /metrics/fleet", http.HandlerFunc(s.handleMetricsFleet))
 	return mux
 }
 
@@ -57,6 +65,12 @@ func (s *Server) Handler() http.Handler {
 			s.metrics.Histogram("serve.http_duration_ms", obs.DefaultDurationBucketsMS).
 				Observe(float64(time.Since(start).Milliseconds()))
 		}()
+		// Continue an incoming cross-node trace: the headers carry the
+		// trace identity, the forwarding header names the relaying hop.
+		if tc, ok := obs.ExtractHTTP(r.Header); ok {
+			tc.Via = r.Header.Get(forwardedHeader)
+			r = r.WithContext(obs.WithTraceContext(r.Context(), tc))
+		}
 		if !infraPath(r.URL.Path) {
 			// Forwarding comes before the readiness gate: a standby
 			// follower is not ready to serve from its own engine, but the
@@ -110,6 +124,15 @@ func (s *Server) forwardToLeader(w http.ResponseWriter, r *http.Request) bool {
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, s.cfg.NodeID)
+	if _, ok := obs.ExtractHTTP(r.Header); !ok {
+		// This hop starts the trace: mint a deterministic ID from the
+		// node's forward sequence (no entropy, no clock) so the
+		// submission correlates on the leader and the forwarding node is
+		// visible in the stitched timeline instead of being a silent hop.
+		obs.InjectHTTP(req.Header, obs.TraceContext{
+			TraceID: fmt.Sprintf("%s/fwd-%06d", s.cfg.NodeID, s.fwdSeq.Add(1)),
+		})
+	}
 	hc := s.forward
 	if hc == nil {
 		hc = http.DefaultClient
@@ -311,6 +334,49 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	_ = j.tracer.WriteJSON(w) //lint:allow errdiscard best-effort write to a disconnecting client
 }
 
+// handleMetrics serves the server-level registry: indented JSON by
+// default, the Prometheus text exposition with ?format=prom.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.Snapshot().WriteProm(w) //lint:allow errdiscard best-effort write to a disconnecting client
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w) //lint:allow errdiscard best-effort write to a disconnecting client
+}
+
+// handleMetricsFleet serves the fleet-wide observability view. On a
+// clustered leader the installed aggregator fans out to every node; a
+// follower never answers this itself (the path is not an infraPath, so
+// it forwards to the leader); a single node serves a fleet of one.
+// ?format=prom serves the merged registry as text exposition.
+func (s *Server) handleMetricsFleet(w http.ResponseWriter, r *http.Request) {
+	var fo FleetObs
+	if s.fleetObs != nil {
+		var err error
+		fo, err = s.fleetObs(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		local := s.LocalNodeObs()
+		fo = FleetObs{
+			Leader: local.NodeID,
+			Term:   local.Term,
+			Nodes:  []NodeObs{local},
+			Merged: obs.MergeSnapshots(map[string]obs.Snapshot{local.NodeID: local.Metrics}),
+		}
+	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = fo.Merged.WriteProm(w) //lint:allow errdiscard best-effort write to a disconnecting client
+		return
+	}
+	writeJSON(w, http.StatusOK, fo)
+}
+
 // health assembles the shared /healthz / /readyz body.
 func (s *Server) health() Health {
 	queued, running := s.engine.counts()
@@ -329,6 +395,9 @@ func (s *Server) health() Health {
 	}
 	if s.cluster != nil {
 		h.Role, h.Term, h.Leader = s.cluster.Role()
+		if fl, ok := s.cluster.(FleetLag); ok {
+			h.Lag = fl.FollowerLag()
+		}
 	}
 	return h
 }

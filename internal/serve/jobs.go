@@ -135,6 +135,13 @@ type engine struct {
 	metrics    *obs.Registry // server-level registry
 	logger     *obs.Logger
 
+	// node names this engine's fleet member; it prefixes the
+	// deterministic per-job trace IDs (node/job-NNNNNN).
+	node string
+	// slowJob, when positive, logs the span timings of any job whose
+	// run exceeds it.
+	slowJob time.Duration
+
 	// journal, when non-nil, is the durable job log: every lifecycle
 	// transition is appended before it is acknowledged. Nil is the
 	// in-memory mode — every journaling helper returns immediately.
@@ -358,6 +365,7 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 		e.idemInsertLocked(req.IdempotencyKey, j)
 	}
 	e.mu.Unlock()
+	e.traceIdentity(ctx, j)
 	if err := e.journalSubmit(ctx, j); err != nil {
 		// The job is already in the queue; poison it so the worker that
 		// dequeues it skips (terminal states are never run), and release
@@ -380,6 +388,32 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 	e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
 	e.logger.Info("job queued", "job", j.id, "kind", req.Kind, "dataset", req.DatasetID)
 	return j, nil
+}
+
+// traceIdentity stamps the job's tracer with its deterministic
+// cross-node identity and records the submission span. The trace ID is
+// node/job-NNNNNN from the engine sequence — no entropy, no clock — or
+// the ID an upstream hop already minted (a forwarding follower, the
+// client), carried in on the request context. A forwarded submission
+// records a "forwarded" event naming the relaying node, so the hop is
+// visible in the stitched timeline.
+func (e *engine) traceIdentity(ctx context.Context, j *job) {
+	tc := obs.TraceContextFrom(ctx)
+	traceID := tc.TraceID
+	if traceID == "" {
+		traceID = j.id
+		if e.node != "" {
+			traceID = e.node + "/" + j.id
+		}
+	}
+	j.tracer.SetIdentity(e.node, traceID)
+	_, sp := obs.StartSpan(obs.WithTracer(ctx, j.tracer), "serve.submit")
+	sp.SetStr("job", j.id)
+	sp.SetStr("kind", j.req.Kind)
+	if tc.Via != "" {
+		sp.Event("forwarded", "via "+tc.Via)
+	}
+	sp.End()
 }
 
 // Job returns the engine's record for id.
@@ -457,6 +491,15 @@ func (e *engine) restore(j *job) error {
 		close(ch)
 		j.admitted = ch
 	}
+	if j.tracer != nil {
+		// Recovered jobs re-mint the same deterministic identity their
+		// first life carried: node + journaled job ID.
+		traceID := j.id
+		if e.node != "" {
+			traceID = e.node + "/" + j.id
+		}
+		j.tracer.SetIdentity(e.node, traceID)
+	}
 	if !j.state.Terminal() {
 		select {
 		case e.queue <- j:
@@ -516,6 +559,13 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, int, error
 			j.state = StateRunning
 			j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
 			j.mu.Unlock()
+			// The hand-off is a leader-side span: the stitched trace shows
+			// who stole the job and when even before the stealer reports.
+			_, sp := obs.StartSpan(obs.WithTracer(ctx, j.tracer), "serve.steal")
+			sp.SetStr("job", j.id)
+			sp.SetStr("stolen_by", node)
+			sp.SetInt("attempt", int64(attempt))
+			sp.End()
 			e.metrics.Counter("serve.jobs_stolen").Inc()
 			e.logger.Info("job stolen", "job", j.id, "node", node, "attempt", attempt)
 			return j, attempt, nil
@@ -532,8 +582,10 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, int, error
 // not the job's current one is ErrStaleAttempt: the term alone cannot
 // fence a stealer that outlives its steal timeout, because the
 // re-queued copy runs under the same leadership — the attempt number
-// is the per-life fence.
-func (e *engine) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int) error {
+// is the per-life fence. spans, when non-empty, are the stealer's
+// span tree, grafted into the job's tracer so GET /jobs/{id}/trace
+// serves one stitched timeline spanning both nodes.
+func (e *engine) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int, spans []obs.SpanSnapshot) error {
 	if !final.Terminal() {
 		return fmt.Errorf("serve: stolen job %s reported non-terminal state %q", id, final)
 	}
@@ -560,6 +612,12 @@ func (e *engine) CompleteStolen(ctx context.Context, id string, final State, err
 	if jerr := e.journalStateNode(ctx, id, final, errMsg, attempt, node); jerr != nil {
 		e.metrics.Counter("serve.journal_errors").Inc()
 		return fmt.Errorf("serve: journal steal result: %w", jerr)
+	}
+	if len(spans) > 0 {
+		// Stitch the stealer's spans under the trace root: remote work
+		// joins the local timeline, attributed to the node that ran it.
+		j.tracer.Graft(0, node, spans)
+		e.metrics.Counter("serve.trace_spans_grafted").Add(int64(len(spans)))
 	}
 	switch final {
 	case StateDone:
@@ -752,8 +810,10 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 	res, err := e.invoke(ctx, j)
 	sp.End()
 	e.metrics.Gauge("serve.jobs_running").Set(float64(e.running(-1)))
+	elapsed := time.Since(j.started)
 	e.metrics.Histogram("serve.job_duration_ms", obs.DefaultDurationBucketsMS).
-		Observe(float64(time.Since(j.started).Milliseconds()))
+		Observe(float64(elapsed.Milliseconds()))
+	e.logSlowJob(j, elapsed)
 
 	j.mu.Lock()
 	cancelWant := j.cancelWant
@@ -801,6 +861,27 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 		j.finishLocked(StateFailed, msg)
 		e.metrics.Counter("serve.jobs_failed").Inc()
 		e.logger.Error("job failed", "job", j.id, "err", msg)
+	}
+}
+
+// logSlowJob names where a slow job's time went: when the run exceeds
+// the configured threshold, every finished span is logged with its
+// duration — for an identify/remedy job that is the level-by-level
+// lattice timings (core.identify.level spans), exactly the breakdown
+// the hot-path work needs without anyone racing to fetch the trace.
+func (e *engine) logSlowJob(j *job, elapsed time.Duration) {
+	if e.slowJob <= 0 || elapsed < e.slowJob {
+		return
+	}
+	e.metrics.Counter("serve.jobs_slow").Inc()
+	e.logger.Warn("slow job", "job", j.id, "kind", j.req.Kind,
+		"elapsed_ms", elapsed.Milliseconds(), "threshold_ms", e.slowJob.Milliseconds())
+	for _, ss := range j.tracer.Snapshot() {
+		if ss.Unfinished {
+			continue
+		}
+		e.logger.Warn("slow job span", "job", j.id, "span", ss.Name,
+			"start_us", ss.StartUS, "duration_us", ss.DurationUS)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fairness"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/remedy"
 )
@@ -203,23 +204,36 @@ func (s *Server) RunRequest(ctx context.Context, req JobRequest) (any, error) {
 	return s.execute(ctx, d, p, req)
 }
 
+// StealGrant is the leader's hand-off of one queued job to a stealing
+// node: the job's identity and request, the attempt number fencing the
+// steal, and the job's trace ID so the stealer's spans come back under
+// the same cross-node trace.
+type StealGrant struct {
+	JobID   string     `json:"job_id"`
+	Request JobRequest `json:"request"`
+	Attempt int        `json:"attempt"`
+	TraceID string     `json:"trace_id,omitempty"`
+}
+
 // StealQueued exposes the engine's work-stealing pop: the oldest
 // queued job leaves for node, which must report its outcome through
-// CompleteStolen carrying the returned attempt number (or be recovered
+// CompleteStolen carrying the granted attempt number (or be recovered
 // by RequeueStolen).
-func (s *Server) StealQueued(ctx context.Context, node string) (string, JobRequest, int, error) {
+func (s *Server) StealQueued(ctx context.Context, node string) (StealGrant, error) {
 	j, attempt, err := s.engine.StealQueued(ctx, node)
 	if err != nil {
-		return "", JobRequest{}, 0, err
+		return StealGrant{}, err
 	}
-	return j.id, j.req, attempt, nil
+	_, traceID := j.tracer.Identity()
+	return StealGrant{JobID: j.id, Request: j.req, Attempt: attempt, TraceID: traceID}, nil
 }
 
 // CompleteStolen lands a stolen job's terminal outcome (see the engine
 // method). attempt must be the value StealQueued handed out; a report
-// for a superseded attempt is rejected with ErrStaleAttempt.
-func (s *Server) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int) error {
-	return s.engine.CompleteStolen(ctx, id, final, errMsg, result, node, attempt)
+// for a superseded attempt is rejected with ErrStaleAttempt. spans are
+// the stealer's span tree, grafted into the job's trace.
+func (s *Server) CompleteStolen(ctx context.Context, id string, final State, errMsg string, result json.RawMessage, node string, attempt int, spans []obs.SpanSnapshot) error {
+	return s.engine.CompleteStolen(ctx, id, final, errMsg, result, node, attempt, spans)
 }
 
 // RequeueStolen returns a stolen job to the queue after its stealer

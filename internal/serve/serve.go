@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -74,8 +75,14 @@ type Config struct {
 	// still in flight is unaffected.
 	MaxIdemKeys int
 	// NodeID names this node in a cluster ("" for single-node mode);
-	// it appears in health output and work-stealing attribution.
+	// it appears in health output, work-stealing attribution, and the
+	// deterministic trace IDs minted at submission.
 	NodeID string
+	// SlowJobThreshold, when positive, turns on the slow-job log: a job
+	// whose run exceeds it logs its span timings level by level at
+	// completion, so the expensive lattice levels are named without
+	// anyone having to fetch the trace in time.
+	SlowJobThreshold time.Duration
 	// Logger and Metrics are the server-level observability handles;
 	// nil means a silent logger and a fresh registry.
 	Logger  *obs.Logger
@@ -131,6 +138,16 @@ type ClusterView interface {
 	LeaderURL() string
 }
 
+// FleetLag is an optional extension of ClusterView: a leader-side
+// cluster exposes per-follower replication lag (journal frames
+// behind), surfaced in /readyz and /healthz. Checked by assertion so
+// existing ClusterView implementations and test fakes keep compiling.
+type FleetLag interface {
+	// FollowerLag maps follower node ID → frames behind the leader's
+	// journal (nil when this node is not leading).
+	FollowerLag() map[string]uint64
+}
+
 // Server is the remedyd application: registry + engine + handlers,
 // plus an optional durable store (journal + dataset spill).
 type Server struct {
@@ -156,6 +173,14 @@ type Server struct {
 	// during recovery or stolen-job execution to pull the dataset from
 	// the cluster before the lookup is retried.
 	fetchDataset func(ctx context.Context, id string) error
+	// fleetObs, when non-nil, assembles the fleet-wide observability
+	// view behind GET /metrics/fleet (the cluster installs it on the
+	// leader). Nil serves a single-node fleet of one.
+	fleetObs func(ctx context.Context) (FleetObs, error)
+	// fwdSeq numbers the trace IDs this node mints for forwarded
+	// requests that arrived untraced — deterministic per node
+	// (node-id/fwd-NNNNNN), no entropy.
+	fwdSeq atomic.Int64
 
 	// recTerm/recLeader are the last leadership term the journal
 	// witnessed, captured during recovery for the cluster bootstrap.
@@ -177,6 +202,8 @@ func newServer(cfg Config) *Server {
 		s.metrics, s.logger)
 	s.engine.maxAttempts = cfg.MaxAttempts
 	s.engine.maxIdemKeys = cfg.MaxIdemKeys
+	s.engine.node = cfg.NodeID
+	s.engine.slowJob = cfg.SlowJobThreshold
 	return s
 }
 
@@ -257,6 +284,27 @@ func (s *Server) SetForwardClient(c *http.Client) { s.forward = c }
 // retried.
 func (s *Server) SetDatasetFetcher(fn func(ctx context.Context, id string) error) {
 	s.fetchDataset = fn
+}
+
+// SetFleetObs installs the fleet-wide observability aggregator behind
+// GET /metrics/fleet (the cluster layer provides it; a nil fn keeps
+// the single-node fleet-of-one view). Call before serving traffic.
+func (s *Server) SetFleetObs(fn func(ctx context.Context) (FleetObs, error)) {
+	s.fleetObs = fn
+}
+
+// LocalNodeObs snapshots this node's own observability view — the
+// per-node unit the fleet aggregation is built from, and the body
+// /cluster/obs serves.
+func (s *Server) LocalNodeObs() NodeObs {
+	h := s.health()
+	return NodeObs{
+		NodeID:  s.cfg.NodeID,
+		Role:    h.Role,
+		Term:    h.Term,
+		Health:  h,
+		Metrics: s.metrics.Snapshot(),
+	}
 }
 
 // SetReady marks the node ready to serve.

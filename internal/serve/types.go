@@ -1,6 +1,10 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // This file defines the HTTP wire types. They are shared verbatim by
 // the server handlers and the Client (used by remedyctl -serve-url),
@@ -249,6 +253,41 @@ type Health struct {
 	Role   string `json:"role,omitempty"`
 	Term   uint64 `json:"term,omitempty"`
 	Leader string `json:"leader,omitempty"`
+
+	// Lag maps follower node ID → journal frames behind the leader,
+	// present on a leader running replication. A reading of 0 is in
+	// sync; a growing value is the early-warning signal a handoff to
+	// that follower would lose acknowledged work.
+	Lag map[string]uint64 `json:"lag,omitempty"`
+}
+
+// NodeObs is one node's observability snapshot inside a fleet view:
+// its identity and health alongside its full metrics registry. The
+// /cluster/obs endpoint serves it per node; the leader aggregates them
+// into a FleetObs.
+type NodeObs struct {
+	NodeID string `json:"node_id"`
+	Role   string `json:"role,omitempty"`
+	Term   uint64 `json:"term,omitempty"`
+	// Lag is this node's journal frames behind the leader (0 on the
+	// leader itself), filled in by the leader-side aggregation.
+	Lag     uint64       `json:"lag,omitempty"`
+	Health  Health       `json:"health"`
+	Metrics obs.Snapshot `json:"metrics"`
+	// Err notes a failed snapshot fetch; the metrics are then empty but
+	// the node still appears in the fleet view (absence would read as
+	// health, which is the opposite of the truth).
+	Err string `json:"error,omitempty"`
+}
+
+// FleetObs is the body of GET /metrics/fleet: every node's snapshot
+// plus the merged registry (counters summed, gauges node-labeled,
+// histograms merged bucket-wise — see obs.MergeSnapshots).
+type FleetObs struct {
+	Leader string       `json:"leader"`
+	Term   uint64       `json:"term"`
+	Nodes  []NodeObs    `json:"nodes"`
+	Merged obs.Snapshot `json:"merged"`
 }
 
 // errorBody is the uniform error envelope of every non-2xx response.

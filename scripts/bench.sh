@@ -5,8 +5,15 @@
 # repo's perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh BENCH_7.json          # default -benchtime 1x
-#   BENCHTIME=3x scripts/bench.sh out.json # more samples, slower
+#   scripts/bench.sh BENCH_8.json           # default -benchtime 5x
+#   BENCHTIME=10x scripts/bench.sh out.json # more samples, slower
+#
+# The default is a fixed -benchtime 5x: every benchmark runs exactly
+# five iterations, enough for the tooling to average out per-iteration
+# jitter (a 1x run reports a single sample, which BENCH_6.json showed
+# to be too noisy to compare across PRs) while staying deterministic —
+# a fixed iteration count, unlike a time budget, does the same work on
+# a fast and a slow machine.
 #
 # The JSON carries wall-clock (ns/op), allocation (B/op, allocs/op),
 # and the work counters the identify benchmarks report
@@ -16,7 +23,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_dev.json}"
-benchtime="${BENCHTIME:-1x}"
+benchtime="${BENCHTIME:-5x}"
 
 echo "== go test -bench . -benchtime $benchtime (writing $out)"
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . \

@@ -44,6 +44,13 @@ go vet ./internal/cluster/...
 go test -race -count=1 ./internal/cluster/
 go test -race -count=1 -run 'Cluster' ./cmd/remedyd/
 
+echo "== fleet observability: stitched trace + federation (make obs-fleet-check)"
+# A three-node fleet steals a job: the leader's per-job trace must be
+# one stitched timeline with spans from every participating node ID
+# under a deterministic trace ID, and /metrics/fleet's merged counters
+# must equal the sum of the per-node registries.
+go test -race -count=1 -run 'ObsFleet' ./internal/cluster/
+
 echo "== go test -race ./..."
 go test -race ./...
 
