@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check bench fuzz
+.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check load-check bench fuzz
 
 all: check
 
@@ -89,6 +89,19 @@ cluster-check:
 obs-fleet-check:
 	$(GO) test -race -count=1 -run 'ObsFleet' ./internal/cluster/
 
+# load-check gates the load harness and the multi-tenant admission
+# layer under the race detector: deficit-round-robin fairness (no
+# starvation, shares within 20% of weights), per-tenant quotas and
+# derived Retry-After, response-cache byte-identity, and the harness's
+# own acceptance test — two same-seed runs against fresh servers must
+# produce byte-identical deterministic reports with zero jobs lost or
+# duplicated and at least one cache hit.
+load-check:
+	$(GO) vet ./internal/load/... ./cmd/remedyload/...
+	$(GO) test -race -count=1 ./internal/load/ ./cmd/remedyload/
+	$(GO) test -race -count=1 \
+	    -run 'FairQueue|RetryAfter|Tenant|Cache|ClientRetry' ./internal/serve/
+
 # bench regenerates the committed BENCH_*.json perf artifact (see
 # EXPERIMENTS.md "Benchmark trajectory"). Usage: make bench OUT=BENCH_7.json
 OUT ?= BENCH_dev.json
@@ -99,5 +112,5 @@ fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzJournalReplay -fuzztime 30s
 
-check: build vet lint obs-check serve-check durable-check cluster-check obs-fleet-check race
+check: build vet lint obs-check serve-check durable-check cluster-check obs-fleet-check load-check race
 	@echo "all checks passed"

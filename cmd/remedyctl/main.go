@@ -307,6 +307,34 @@ func runStatus(ctx context.Context, baseURL string, seed int64) error {
 		return err
 	}
 
+	// Per-tenant admission rows come from the leader's health (the
+	// leader owns the queue); in single-node mode the one node serves.
+	var tenantRows []serve.TenantHealth
+	for _, n := range fo.Nodes {
+		if n.Err != "" || len(n.Health.Tenants) == 0 {
+			continue
+		}
+		if tenantRows == nil || n.Role == "leader" {
+			tenantRows = n.Health.Tenants
+		}
+	}
+	if len(tenantRows) > 0 {
+		tenants := &experiments.Table{
+			Columns: []string{"Tenant", "Weight", "Queued", "Submitted", "Done", "Failed", "Rejected", "Throttled", "CacheHits"},
+		}
+		for _, tr := range tenantRows {
+			tenants.Rows = append(tenants.Rows, []string{
+				tr.Name, fmt.Sprint(tr.Weight), fmt.Sprint(tr.Queued),
+				fmt.Sprint(tr.Submitted), fmt.Sprint(tr.Done), fmt.Sprint(tr.Failed),
+				fmt.Sprint(tr.Rejected), fmt.Sprint(tr.Throttled), fmt.Sprint(tr.CacheHits),
+			})
+		}
+		fmt.Println()
+		if err := tenants.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
 	routes := &experiments.Table{Columns: []string{"Route", "Requests", "p50 ms", "p99 ms"}}
 	for _, name := range sortedNames(fo.Merged.Histograms) {
 		base, labels := obs.SplitLabels(name)

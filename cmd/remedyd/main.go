@@ -42,6 +42,16 @@
 //	remedyd -addr localhost:8081 -data-dir /var/lib/remedyd-a \
 //	    -node-id node-a \
 //	    -peers node-a=http://localhost:8081,node-b=http://localhost:8082
+//
+// With -tenants the job queue is multi-tenant: requests carrying an
+// X-Remedy-Tenant header are admitted through per-tenant token-bucket
+// quotas and dispatched by weighted fair queueing (deficit round
+// robin), so one tenant's burst cannot starve another. -default-quota
+// governs every tenant not named, and -cache-entries bounds the
+// response cache that replays identical identify/train/audit
+// submissions without re-running them:
+//
+//	remedyd -tenants 'team-a=3,team-b=1:0.5:10' -default-quota 1:2
 package main
 
 import (
@@ -94,6 +104,56 @@ func parsePeers(s string) (map[string]string, error) {
 	return peers, nil
 }
 
+// parseQuota decodes one tenant quota spec "weight[:rate[:burst]]":
+// fair-share weight, token-bucket refill per second (0 = unlimited),
+// and bucket size (default ceil(rate)).
+func parseQuota(s string) (serve.TenantConfig, error) {
+	var tc serve.TenantConfig
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) > 3 {
+		return tc, fmt.Errorf("bad quota %q, want weight[:rate[:burst]]", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &tc.Weight); err != nil || tc.Weight < 1 {
+		return tc, fmt.Errorf("bad quota weight %q", parts[0])
+	}
+	if len(parts) > 1 {
+		if _, err := fmt.Sscanf(parts[1], "%g", &tc.Rate); err != nil || tc.Rate < 0 {
+			return tc, fmt.Errorf("bad quota rate %q", parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if _, err := fmt.Sscanf(parts[2], "%d", &tc.Burst); err != nil || tc.Burst < 1 {
+			return tc, fmt.Errorf("bad quota burst %q", parts[2])
+		}
+	}
+	return tc, nil
+}
+
+// parseTenants decodes the -tenants roster
+// ("name=weight[:rate[:burst]],..."). An empty flag means every tenant
+// rides the default quota.
+func parseTenants(s string) (map[string]serve.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	tenants := map[string]serve.TenantConfig{}
+	for _, entry := range strings.Split(s, ",") {
+		name, spec, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" || spec == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q, want name=weight[:rate[:burst]]", entry)
+		}
+		if _, dup := tenants[name]; dup {
+			return nil, fmt.Errorf("duplicate -tenants name %q", name)
+		}
+		tc, err := parseQuota(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-tenants entry %q: %w", entry, err)
+		}
+		tenants[name] = tc
+	}
+	return tenants, nil
+}
+
 // run builds the server from argv and serves until ctx is cancelled
 // (SIGINT/SIGTERM in main; a test cancel in tests). ready, when
 // non-nil, receives the bound address once the listener is up — tests
@@ -106,7 +166,10 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	var (
 		addr         = fs.String("addr", "localhost:8080", "listen address")
 		workers      = fs.Int("workers", 4, "job worker pool size")
-		queue        = fs.Int("queue", 16, "job queue depth (full queue = 429)")
+		queue        = fs.Int("queue", 16, "per-tenant job queue depth (full queue = 429)")
+		tenantsFlag  = fs.String("tenants", "", "per-tenant admission as name=weight[:rate[:burst]],… — weighted fair queueing plus token-bucket quotas, keyed by the X-Remedy-Tenant header")
+		defQuota     = fs.String("default-quota", "", "quota for the default tenant and any tenant not named in -tenants, as weight[:rate[:burst]] (default: weight 1, unlimited rate)")
+		cacheEntries = fs.Int("cache-entries", 128, "response cache capacity: identical identify/train/audit submissions replay without re-running (negative disables)")
 		maxDatasets  = fs.Int("max-datasets", 16, "resident dataset capacity (LRU eviction)")
 		maxRows      = fs.Int("max-upload-rows", 2_000_000, "per-upload row cap")
 		maxBytes     = fs.Int64("max-upload-bytes", 256<<20, "per-upload byte cap")
@@ -130,6 +193,16 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		return err
+	}
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		return err
+	}
+	var defaultQuota serve.TenantConfig
+	if *defQuota != "" {
+		if defaultQuota, err = parseQuota(*defQuota); err != nil {
+			return fmt.Errorf("-default-quota: %w", err)
+		}
 	}
 	if *nodeID != "" {
 		if *dataDir == "" {
@@ -157,6 +230,9 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		MaxUploadBytes:   *maxBytes,
 		Workers:          *workers,
 		QueueDepth:       *queue,
+		Tenants:          tenants,
+		DefaultQuota:     defaultQuota,
+		CacheEntries:     *cacheEntries,
 		JobTimeout:       *jobTimeout,
 		MaxAttempts:      *maxAttempts,
 		NodeID:           *nodeID,

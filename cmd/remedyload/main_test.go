@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/load"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("a=3:2:10,b=1:1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []load.Tenant{
+		{Name: "a", Weight: 3, Clients: 2, Jobs: 10},
+		{Name: "b", Weight: 1, Clients: 1, Jobs: 5},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("mix = %+v", mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Fatalf("mix[%d] = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "a", "a=1:2", "a=0:1:1", "a=1:1:1,a=1:1:1", "a=x:y:z"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) should fail", bad)
+		}
+	}
+}
+
+// TestRunInProcess runs the full harness against the self-booted
+// server and checks the report lands on disk with both halves intact.
+func TestRunInProcess(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "LOAD.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-seed", "11", "-rows", "200",
+		"-tenants", "a=2:2:3,b=1:1:2",
+		"-workers", "2", "-out", outPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "cache_repeat_hit=true") {
+		t.Fatalf("stdout missing cache probe result:\n%s", stdout.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Deterministic.Outcomes); got != 2*3+1*2 {
+		t.Fatalf("outcomes = %d, want 8", got)
+	}
+	if rep.Deterministic.Lost != 0 || !rep.Deterministic.CacheRepeatHit {
+		t.Fatalf("deterministic section = %+v", rep.Deterministic)
+	}
+	if len(rep.Observed.Tenants) != 2 {
+		t.Fatalf("observed tenants = %+v", rep.Observed.Tenants)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-tenants", "nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -tenants must fail")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -36,6 +37,15 @@ type Client struct {
 	// except the streaming dataset upload (its body cannot be
 	// replayed).
 	Retry *RetryPolicy
+	// Tenant, when non-empty, is stamped on every request as the
+	// X-Remedy-Tenant header — the client-side half of the server's
+	// multi-tenant admission.
+	Tenant string
+	// Obs, when non-nil, receives the client-side counters
+	// (client.retries, client.breaker_open, client.retry_give_up) so
+	// callers report backoff behavior without scraping logs. The obs
+	// registry is nil-safe, so leaving it nil costs nothing.
+	Obs *obs.Registry
 
 	st retryState
 }
@@ -72,6 +82,18 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Msg)
 }
 
+// StatusOf extracts the HTTP status a client call failed with, or 0
+// for transport-level errors that never reached a response. It is how
+// callers (remedyload's error taxonomy) classify failures without the
+// client exporting its error type.
+func StatusOf(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
 // bodyReader wraps replayable bytes for one attempt (nil stays nil so
 // bodyless requests carry no Content-Type).
 func bodyReader(body []byte) io.Reader {
@@ -103,6 +125,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body io.Reade
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
 	}
 	// Carry the caller's trace across the hop (no-op when untraced), so
 	// client submissions and inter-node calls join one timeline.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -173,9 +174,17 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrDatasetNotFound), errors.Is(err, ErrJobNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// The Retry-After is derived, not constant: queue depth over
+		// drain rate for a full queue, token-refill time for a throttled
+		// tenant, both clamped to [1, 60]s by the engine.
+		ra := "1"
+		var rae *RetryAfterError
+		if errors.As(err, &rae) && rae.Seconds > 0 {
+			ra = strconv.Itoa(rae.Seconds)
+		}
+		w.Header().Set("Retry-After", ra)
 	case errors.Is(err, dataset.ErrTooLarge):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrRegistryFull):
@@ -250,6 +259,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, err)
 		return
+	}
+	// The transport header wins over a tenant named in the body: the
+	// header is what the retrying Client stamps and what a forwarding
+	// follower relays verbatim.
+	if t := r.Header.Get(TenantHeader); t != "" {
+		req.Tenant = t
 	}
 	if _, err := validateRequest(req); err != nil {
 		writeError(w, err)
@@ -399,6 +414,7 @@ func (s *Server) health() Health {
 			h.Lag = fl.FollowerLag()
 		}
 	}
+	h.Tenants = s.engine.queue.tenantHealth()
 	return h
 }
 

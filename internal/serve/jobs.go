@@ -48,6 +48,10 @@ var (
 type job struct {
 	id  string
 	req JobRequest
+	// tenant is the canonical tenant the job was accounted under
+	// (written once by fairQueue.push / the cache fast path before the
+	// job is observable; the fair queue's mutex publishes it).
+	tenant string
 
 	mu         sync.Mutex
 	state      State
@@ -89,6 +93,7 @@ func (j *job) status() JobStatus {
 		ID:         j.id,
 		Kind:       j.req.Kind,
 		DatasetID:  j.req.DatasetID,
+		Tenant:     j.tenant,
 		State:      j.state,
 		Error:      j.errMsg,
 		EnqueuedAt: j.enqueued,
@@ -112,16 +117,19 @@ func (j *job) status() JobStatus {
 type runnerFunc func(ctx context.Context, j *job) (any, error)
 
 // engine is the bounded worker pool behind POST /jobs. Jobs flow
-// through a buffered channel (the queue); a fixed set of worker
-// goroutines drains it. Submission never blocks: a full queue is an
-// immediate ErrQueueFull.
+// through the multi-tenant fair queue (per-tenant bounded FIFOs,
+// token-bucket quotas, deficit-round-robin dispatch — see fairq.go); a
+// fixed set of worker goroutines drains it. Submission never blocks: a
+// full tenant queue is an immediate ErrQueueFull, an empty tenant
+// bucket is ErrRateLimited, both carrying a derived Retry-After.
 type engine struct {
 	mu         sync.Mutex
 	jobs       map[string]*job
 	order      []string // submission order, for GET /jobs
 	idem       map[string]*job
 	idemOrder  []string // idem keys in insertion order, for bounded eviction
-	queue      chan *job
+	queue      *fairQueue
+	cache      *respCache // done-result replay cache; nil = disabled
 	closed     bool
 	seq        int
 	seqRunning int // currently-running job count, behind mu
@@ -166,7 +174,7 @@ func newEngine(workers, queueDepth int, jobTimeout, maxTimeout time.Duration, ru
 	return &engine{
 		jobs:       map[string]*job{},
 		idem:       map[string]*job{},
-		queue:      make(chan *job, queueDepth),
+		queue:      newFairQueue(queueDepth, TenantConfig{Weight: 1}, nil),
 		workers:    workers,
 		jobTimeout: jobTimeout,
 		maxTimeout: maxTimeout,
@@ -351,13 +359,36 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 	}
 	e.seq++
 	j.id = fmt.Sprintf("job-%06d", e.seq)
-	select {
-	case e.queue <- j:
-	default:
+	if key, cacheable := cacheKey(req); cacheable && e.cache != nil {
+		if raw, hit := e.cache.get(key); hit {
+			// Cache fast path: the job goes straight to done with the
+			// stored result — never queued, never charged against the
+			// tenant's quota, still journaled like any other submission.
+			j.tenant = e.queue.canonical(tenantOf(req))
+			e.jobs[j.id] = j
+			e.order = append(e.order, j.id)
+			if req.IdempotencyKey != "" {
+				e.idemInsertLocked(req.IdempotencyKey, j)
+			}
+			e.mu.Unlock()
+			return e.finishFromCache(ctx, j, raw)
+		}
+	}
+	tenant, hint, qerr := e.queue.push(j, false)
+	if qerr != nil {
 		e.mu.Unlock()
 		release()
-		e.metrics.Counter("serve.jobs_rejected").Inc()
-		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, cap(e.queue))
+		switch {
+		case errors.Is(qerr, ErrRateLimited):
+			e.metrics.Counter("serve.jobs_throttled").Inc()
+			e.metrics.Counter(obs.WithLabel("serve.tenant_throttled", "tenant", tenant)).Inc()
+			return nil, &RetryAfterError{Err: qerr, Seconds: hint}
+		case errors.Is(qerr, ErrQueueFull):
+			e.metrics.Counter("serve.jobs_rejected").Inc()
+			e.metrics.Counter(obs.WithLabel("serve.tenant_rejected", "tenant", tenant)).Inc()
+			return nil, &RetryAfterError{Err: qerr, Seconds: e.retryAfter()}
+		}
+		return nil, qerr
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
@@ -365,6 +396,7 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 		e.idemInsertLocked(req.IdempotencyKey, j)
 	}
 	e.mu.Unlock()
+	e.metrics.Counter(obs.WithLabel("serve.tenant_submitted", "tenant", tenant)).Inc()
 	e.traceIdentity(ctx, j)
 	if err := e.journalSubmit(ctx, j); err != nil {
 		// The job is already in the queue; poison it so the worker that
@@ -385,9 +417,110 @@ func (e *engine) Submit(ctx context.Context, req JobRequest, release func()) (*j
 	}
 	close(j.admitted)
 	e.metrics.Counter("serve.jobs_submitted").Inc()
-	e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
-	e.logger.Info("job queued", "job", j.id, "kind", req.Kind, "dataset", req.DatasetID)
+	e.metrics.Gauge("serve.jobs_queued").Set(float64(e.queue.len()))
+	e.logger.Info("job queued", "job", j.id, "kind", req.Kind, "dataset", req.DatasetID, "tenant", tenant)
 	return j, nil
+}
+
+// finishFromCache completes a cache-hit submission: the job is
+// journaled (admission + done) exactly like a run job — recovery must
+// agree the job finished — then finished with the cached result bytes.
+// A journal failure follows the same contracts as the slow path: an
+// unjournaled admission poisons the submission; an unjournaled done
+// degrades to failed.
+func (e *engine) finishFromCache(ctx context.Context, j *job, raw json.RawMessage) (*job, error) {
+	e.traceIdentity(ctx, j)
+	_, sp := obs.StartSpan(obs.WithTracer(ctx, j.tracer), "serve.cache_hit")
+	sp.SetStr("job", j.id)
+	sp.SetStr("kind", j.req.Kind)
+	sp.End()
+	if err := e.journalSubmit(ctx, j); err != nil {
+		j.mu.Lock()
+		j.finishLocked(StateCancelled, "submission not journaled: "+err.Error())
+		j.mu.Unlock()
+		close(j.admitted)
+		if key := j.req.IdempotencyKey; key != "" {
+			e.mu.Lock()
+			e.idemDeleteLocked(key)
+			e.mu.Unlock()
+		}
+		e.metrics.Counter("serve.journal_errors").Inc()
+		return nil, fmt.Errorf("serve: journal submission: %w", err)
+	}
+	if err := e.journalState(ctx, j.id, StateDone, "", 0); err != nil {
+		e.metrics.Counter("serve.journal_errors").Inc()
+		msg := "cached result not journaled: " + err.Error()
+		if j2 := e.journalState(ctx, j.id, StateFailed, msg, 0); j2 != nil {
+			e.logger.Error("journal append failed", "job", j.id, "err", j2)
+		}
+		j.mu.Lock()
+		j.finishLocked(StateFailed, msg)
+		j.mu.Unlock()
+		close(j.admitted)
+		e.metrics.Counter("serve.jobs_submitted").Inc()
+		e.accountFinish(j.tenant, StateFailed)
+		e.metrics.Counter("serve.jobs_failed").Inc()
+		return j, nil
+	}
+	j.mu.Lock()
+	j.result = raw
+	j.finishLocked(StateDone, "")
+	j.mu.Unlock()
+	close(j.admitted)
+	e.queue.recordCacheHit(j.tenant)
+	e.metrics.Counter("serve.jobs_submitted").Inc()
+	e.metrics.Counter("serve.cache_hits").Inc()
+	e.metrics.Counter(obs.WithLabel("serve.tenant_cache_hits", "tenant", j.tenant)).Inc()
+	e.metrics.Counter("serve.jobs_done").Inc()
+	e.logger.Info("job served from cache", "job", j.id, "kind", j.req.Kind, "tenant", j.tenant)
+	return j, nil
+}
+
+// cacheFill stores a done job's result for replay. Marshal errors just
+// skip the fill — the cache is an optimization, never a correctness
+// dependency.
+func (e *engine) cacheFill(req JobRequest, res any) {
+	if e.cache == nil || res == nil {
+		return
+	}
+	key, ok := cacheKey(req)
+	if !ok {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	e.cache.put(key, raw)
+}
+
+// accountFinish folds a terminal transition into the job's tenant
+// accounting (fair-queue rows + labeled server counters).
+func (e *engine) accountFinish(tenant string, final State) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	e.queue.recordOutcome(tenant, final)
+	switch final {
+	case StateDone:
+		e.metrics.Counter(obs.WithLabel("serve.tenant_done", "tenant", tenant)).Inc()
+	case StateFailed:
+		e.metrics.Counter(obs.WithLabel("serve.tenant_failed", "tenant", tenant)).Inc()
+	case StateCancelled:
+		e.metrics.Counter(obs.WithLabel("serve.tenant_cancelled", "tenant", tenant)).Inc()
+	}
+}
+
+// retryAfter derives the Retry-After hint for a full-queue rejection
+// from the current backlog and the observed mean job duration across
+// the worker pool.
+func (e *engine) retryAfter() int {
+	h := e.metrics.Histogram("serve.job_duration_ms", obs.DefaultDurationBucketsMS)
+	var avg float64
+	if n := h.Count(); n > 0 {
+		avg = h.Sum() / float64(n)
+	}
+	return retryAfterSecs(e.queue.len(), e.workers, avg)
 }
 
 // traceIdentity stamps the job's tracer with its deterministic
@@ -466,6 +599,7 @@ func (e *engine) Cancel(ctx context.Context, id string) (JobStatus, error) {
 		// The worker that eventually dequeues it sees the terminal
 		// state and skips.
 		j.finishLocked(StateCancelled, "cancelled while queued")
+		e.accountFinish(j.tenant, StateCancelled)
 	case StateRunning:
 		j.cancel()
 	}
@@ -501,11 +635,14 @@ func (e *engine) restore(j *job) error {
 		j.tracer.SetIdentity(e.node, traceID)
 	}
 	if !j.state.Terminal() {
-		select {
-		case e.queue <- j:
-		default:
-			return fmt.Errorf("%w: %d recovered jobs queued", ErrQueueFull, cap(e.queue))
+		// Recovery re-admits already-accepted work: it bypasses the token
+		// bucket (the quota was charged in the job's first life) but still
+		// respects the per-tenant depth bound.
+		if _, _, err := e.queue.push(j, true); err != nil {
+			return fmt.Errorf("restore %s: %w", j.id, err)
 		}
+	} else {
+		j.tenant = e.queue.canonical(tenantOf(j.req))
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
@@ -530,48 +667,48 @@ func (e *engine) StealQueued(ctx context.Context, node string) (*job, int, error
 		return nil, 0, ErrShuttingDown
 	}
 	for {
-		select {
-		case j := <-e.queue:
-			e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
-			<-j.admitted
-			j.mu.Lock()
-			if j.state.Terminal() { // cancelled while queued: already finished
-				j.mu.Unlock()
-				continue
-			}
-			attempt := j.attempts
-			j.mu.Unlock()
-			if err := e.journalStateNode(ctx, j.id, StateRunning, "", attempt, node); err != nil {
-				// Same contract as a local start: a job whose start cannot be
-				// journaled must not run anywhere.
-				e.metrics.Counter("serve.journal_errors").Inc()
-				j.mu.Lock()
-				j.finishLocked(StateFailed, "steal start not journaled: "+err.Error())
-				j.mu.Unlock()
-				e.metrics.Counter("serve.jobs_failed").Inc()
-				return nil, 0, fmt.Errorf("serve: journal steal: %w", err)
-			}
-			j.mu.Lock()
-			if j.state.Terminal() { // cancelled in the journaling window
-				j.mu.Unlock()
-				continue
-			}
-			j.state = StateRunning
-			j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
-			j.mu.Unlock()
-			// The hand-off is a leader-side span: the stitched trace shows
-			// who stole the job and when even before the stealer reports.
-			_, sp := obs.StartSpan(obs.WithTracer(ctx, j.tracer), "serve.steal")
-			sp.SetStr("job", j.id)
-			sp.SetStr("stolen_by", node)
-			sp.SetInt("attempt", int64(attempt))
-			sp.End()
-			e.metrics.Counter("serve.jobs_stolen").Inc()
-			e.logger.Info("job stolen", "job", j.id, "node", node, "attempt", attempt)
-			return j, attempt, nil
-		default:
+		j, ok := e.queue.tryPop()
+		if !ok {
 			return nil, 0, ErrNoStealable
 		}
+		e.metrics.Gauge("serve.jobs_queued").Set(float64(e.queue.len()))
+		<-j.admitted
+		j.mu.Lock()
+		if j.state.Terminal() { // cancelled while queued: already finished
+			j.mu.Unlock()
+			continue
+		}
+		attempt := j.attempts
+		j.mu.Unlock()
+		if err := e.journalStateNode(ctx, j.id, StateRunning, "", attempt, node); err != nil {
+			// Same contract as a local start: a job whose start cannot be
+			// journaled must not run anywhere.
+			e.metrics.Counter("serve.journal_errors").Inc()
+			j.mu.Lock()
+			j.finishLocked(StateFailed, "steal start not journaled: "+err.Error())
+			j.mu.Unlock()
+			e.metrics.Counter("serve.jobs_failed").Inc()
+			e.accountFinish(j.tenant, StateFailed)
+			return nil, 0, fmt.Errorf("serve: journal steal: %w", err)
+		}
+		j.mu.Lock()
+		if j.state.Terminal() { // cancelled in the journaling window
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now() //lint:allow determinism job lifecycle timestamp is reporting metadata, not a pipeline input
+		j.mu.Unlock()
+		// The hand-off is a leader-side span: the stitched trace shows
+		// who stole the job and when even before the stealer reports.
+		_, sp := obs.StartSpan(obs.WithTracer(ctx, j.tracer), "serve.steal")
+		sp.SetStr("job", j.id)
+		sp.SetStr("stolen_by", node)
+		sp.SetInt("attempt", int64(attempt))
+		sp.End()
+		e.metrics.Counter("serve.jobs_stolen").Inc()
+		e.logger.Info("job stolen", "job", j.id, "node", node, "attempt", attempt)
+		return j, attempt, nil
 	}
 }
 
@@ -623,16 +760,20 @@ func (e *engine) CompleteStolen(ctx context.Context, id string, final State, err
 	case StateDone:
 		if len(result) > 0 {
 			j.result = result
+			e.cacheFill(j.req, result)
 		}
 		j.finishLocked(StateDone, "")
 		e.metrics.Counter("serve.jobs_done").Inc()
+		e.accountFinish(j.tenant, StateDone)
 		e.logger.Info("stolen job done", "job", id, "node", node)
 	case StateCancelled:
 		j.finishLocked(StateCancelled, errMsg)
 		e.metrics.Counter("serve.jobs_cancelled").Inc()
+		e.accountFinish(j.tenant, StateCancelled)
 	default:
 		j.finishLocked(StateFailed, errMsg)
 		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.accountFinish(j.tenant, StateFailed)
 		e.logger.Error("stolen job failed", "job", id, "node", node, "err", errMsg)
 	}
 	return nil
@@ -667,6 +808,7 @@ func (e *engine) RequeueStolen(ctx context.Context, id string) error {
 		j.finishLocked(StateFailed, reason)
 		j.mu.Unlock()
 		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.accountFinish(j.tenant, StateFailed)
 		return nil
 	}
 	if jerr := e.journalState(ctx, id, StateQueued, "", attempt); jerr != nil {
@@ -678,16 +820,17 @@ func (e *engine) RequeueStolen(ctx context.Context, id string) error {
 	j.attempts = attempt
 	j.started = time.Time{}
 	j.mu.Unlock()
-	select {
-	case e.queue <- j:
-		return nil
-	default:
+	// Re-admission bypasses the token bucket: the job's quota was
+	// charged at its original submission.
+	if _, _, qerr := e.queue.push(j, true); qerr != nil {
 		j.mu.Lock()
 		j.finishLocked(StateFailed, "requeue after stealer death: queue full")
 		j.mu.Unlock()
 		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.accountFinish(j.tenant, StateFailed)
 		return fmt.Errorf("%w: requeue of stolen job %s", ErrQueueFull, id)
 	}
+	return nil
 }
 
 // setSeq raises the job-ID sequence to at least n, so IDs minted after
@@ -737,8 +880,12 @@ func (e *engine) counts() (queued, running int) {
 
 func (e *engine) worker(baseCtx context.Context) {
 	defer e.wg.Done()
-	for j := range e.queue {
-		e.metrics.Gauge("serve.jobs_queued").Set(float64(len(e.queue)))
+	for {
+		j, ok := e.queue.pop()
+		if !ok {
+			return
+		}
+		e.metrics.Gauge("serve.jobs_queued").Set(float64(e.queue.len()))
 		e.runOne(baseCtx, j)
 	}
 }
@@ -767,6 +914,7 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 		j.finishLocked(StateFailed, "start not journaled: "+jerr.Error())
 		j.mu.Unlock()
 		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.accountFinish(j.tenant, StateFailed)
 		e.logger.Error("job failed", "job", j.id, "err", jerr)
 		return
 	}
@@ -850,16 +998,23 @@ func (e *engine) runOne(baseCtx context.Context, j *job) {
 	switch final {
 	case StateDone:
 		j.result = res
+		// Fill the replay cache before the done channel closes, so a
+		// client that waits for this job and immediately resubmits the
+		// identical request always hits.
+		e.cacheFill(j.req, res)
 		j.finishLocked(StateDone, "")
 		e.metrics.Counter("serve.jobs_done").Inc()
+		e.accountFinish(j.tenant, StateDone)
 		e.logger.Info("job done", "job", j.id)
 	case StateCancelled:
 		j.finishLocked(StateCancelled, msg)
 		e.metrics.Counter("serve.jobs_cancelled").Inc()
+		e.accountFinish(j.tenant, StateCancelled)
 		e.logger.Info("job cancelled", "job", j.id, "err", msg)
 	default:
 		j.finishLocked(StateFailed, msg)
 		e.metrics.Counter("serve.jobs_failed").Inc()
+		e.accountFinish(j.tenant, StateFailed)
 		e.logger.Error("job failed", "job", j.id, "err", msg)
 	}
 }
@@ -921,21 +1076,22 @@ func (e *engine) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	e.closed = true
+	e.mu.Unlock()
 	// Drain queued jobs: they never ran, they are cancelled outright.
-	for {
-		select {
-		case j := <-e.queue:
-			j.mu.Lock()
-			j.finishLocked(StateCancelled, "server shutting down")
+	// close stops intake and wakes every worker blocked in pop. Jobs
+	// already cancelled while queued (still parked in a tenant FIFO) were
+	// finished and accounted then; skip them here.
+	for _, j := range e.queue.close() {
+		j.mu.Lock()
+		if j.state.Terminal() {
 			j.mu.Unlock()
-			e.metrics.Counter("serve.jobs_cancelled").Inc()
-		default:
-			close(e.queue)
-			e.mu.Unlock()
-			goto drained
+			continue
 		}
+		j.finishLocked(StateCancelled, "server shutting down")
+		j.mu.Unlock()
+		e.metrics.Counter("serve.jobs_cancelled").Inc()
+		e.accountFinish(j.tenant, StateCancelled)
 	}
-drained:
 	done := make(chan struct{})
 	go func() {
 		e.wg.Wait()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -130,6 +131,7 @@ func (c *Client) breakerAllow(p RetryPolicy) (probe bool, err error) {
 		return false, nil
 	}
 	if c.st.probing {
+		c.Obs.Counter("client.breaker_open").Inc()
 		return false, fmt.Errorf("%w after %d consecutive failures", ErrCircuitOpen, c.st.fails)
 	}
 	c.st.probing = true
@@ -216,6 +218,9 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 			return nil
 		}
 		if !eligible || attempt == p.MaxAttempts {
+			if eligible {
+				c.Obs.Counter("client.retry_give_up").Inc()
+			}
 			return lastErr
 		}
 		if probe {
@@ -224,6 +229,10 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 			return lastErr
 		}
 		delay := c.backoff(p, attempt, lastErr)
+		c.Obs.Counter("client.retries").Inc()
+		if status != 0 {
+			c.Obs.Counter(obs.WithLabel("client.retry_status", "status", fmt.Sprintf("%d", status))).Inc()
+		}
 		if p.OnRetry != nil {
 			p.OnRetry(RetryInfo{
 				Attempt: attempt, MaxAttempts: p.MaxAttempts,

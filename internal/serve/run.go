@@ -118,7 +118,31 @@ func validateRequest(req JobRequest) (jobParams, error) {
 	if req.TimeoutMS < 0 {
 		return p, fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
 	}
+	if err := validateTenant(req.Tenant); err != nil {
+		return p, err
+	}
 	return p, nil
+}
+
+// validateTenant bounds tenant names: they label metrics and health
+// rows, so the charset and length are restricted ("" is the default
+// tenant and always fine).
+func validateTenant(name string) error {
+	if name == "" {
+		return nil
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("tenant name %q: want letters, digits, '.', '_', '-'", name)
+		}
+	}
+	return nil
 }
 
 // ParseScope resolves an identification scope name

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,19 @@ type Config struct {
 	// first; keys of live jobs are never evicted, so dedup of anything
 	// still in flight is unaffected.
 	MaxIdemKeys int
+	// Tenants configures the multi-tenant admission layer: per-tenant
+	// fair-share weight and token-bucket quota, keyed by the tenant name
+	// clients send in the X-Remedy-Tenant header. Tenants not listed
+	// here are admitted under DefaultQuota on first sight (up to a
+	// bounded table; overflow folds into the default tenant).
+	Tenants map[string]TenantConfig
+	// DefaultQuota applies to the default tenant and to every tenant not
+	// named in Tenants (zero value: weight 1, unlimited rate).
+	DefaultQuota TenantConfig
+	// CacheEntries bounds the response cache replaying identical
+	// identify/train/audit submissions without re-running them (default
+	// 128; negative disables caching).
+	CacheEntries int
 	// NodeID names this node in a cluster ("" for single-node mode);
 	// it appears in health output, work-stealing attribution, and the
 	// deterministic trace IDs minted at submission.
@@ -116,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIdemKeys == 0 {
 		c.MaxIdemKeys = 1024
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
@@ -204,6 +221,19 @@ func newServer(cfg Config) *Server {
 	s.engine.maxIdemKeys = cfg.MaxIdemKeys
 	s.engine.node = cfg.NodeID
 	s.engine.slowJob = cfg.SlowJobThreshold
+	s.engine.cache = newRespCache(cfg.CacheEntries)
+	s.engine.queue.setDefaults(cfg.DefaultQuota)
+	// Sorted registration keeps the DRR ring order — and everything
+	// derived from it (health rows, drain order) — deterministic across
+	// restarts regardless of map iteration order.
+	names := make([]string, 0, len(cfg.Tenants))
+	for name := range cfg.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.engine.queue.configure(name, cfg.Tenants[name])
+	}
 	return s
 }
 

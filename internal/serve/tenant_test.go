@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTenantHeaderFlow checks the tenant identity end to end over
+// HTTP: the client stamps X-Remedy-Tenant, the job status carries the
+// tenant, /healthz grows a per-tenant row, and the server counts the
+// submission under the tenant label.
+func TestTenantHeaderFlow(t *testing.T) {
+	ctx := context.Background()
+	srv, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	info := uploadCompas(t, c, 800, 2)
+
+	tc := NewClient(c.BaseURL)
+	tc.Tenant = "team-a"
+	st, err := tc.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "team-a" {
+		t.Fatalf("JobStatus.Tenant = %q, want team-a", st.Tenant)
+	}
+	if st, err = tc.Wait(ctx, st.ID, 0); err != nil || st.State != StateDone {
+		t.Fatalf("job: %s %v", st.State, err)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row *TenantHealth
+	for i := range h.Tenants {
+		if h.Tenants[i].Name == "team-a" {
+			row = &h.Tenants[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no team-a row in health tenants: %+v", h.Tenants)
+	}
+	if row.Submitted != 1 || row.Done != 1 {
+		t.Fatalf("team-a row = %+v, want submitted=1 done=1", row)
+	}
+	if got := srv.Metrics().Counter("serve.tenant_submitted{tenant=\"team-a\"}").Value(); got != 1 {
+		t.Fatalf("tenant_submitted counter = %d, want 1", got)
+	}
+	if err := validateTenant("bad tenant!"); err == nil {
+		t.Fatal("tenant with space and '!' should be rejected")
+	}
+}
+
+// TestEngineTenantFairness drives the real engine: with the single
+// worker pinned, a 3:1 weighted backlog must be picked up in DRR order
+// (three alpha jobs per beta job), observed via the ServeJob hook's
+// pickup sequence.
+func TestEngineTenantFairness(t *testing.T) {
+	ctx := context.Background()
+	entered, gate := gateServeJob(t)
+	_, c := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 16,
+		Tenants: map[string]TenantConfig{
+			"alpha": {Weight: 3},
+			"beta":  {Weight: 1},
+		},
+	})
+	info := uploadCompas(t, c, 300, 4)
+
+	blocker, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEntered(t, entered) // worker pinned; everything below queues up
+
+	byTenant := map[string]string{} // job ID → tenant
+	submit := func(tenant string, n int, seedBase int64) {
+		for i := 0; i < n; i++ {
+			// Distinct seeds keep these six-plus jobs out of each other's
+			// response cache.
+			st, serr := c.SubmitJob(ctx, JobRequest{
+				Kind: "identify", DatasetID: info.ID, Tenant: tenant, Seed: seedBase + int64(i),
+			})
+			if serr != nil {
+				t.Fatalf("submit %s #%d: %v", tenant, i, serr)
+			}
+			byTenant[st.ID] = tenant
+		}
+	}
+	submit("alpha", 6, 100)
+	submit("beta", 2, 200)
+
+	close(gate)
+	var order []string
+	for i := 0; i < 8; i++ {
+		id := waitEntered(t, entered)
+		order = append(order, byTenant[id])
+	}
+	want := []string{"alpha", "alpha", "alpha", "beta", "alpha", "alpha", "alpha", "beta"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pickup order %v, want %v", order, want)
+		}
+	}
+	if st, err := c.Wait(ctx, blocker.ID, 0); err != nil || st.State != StateDone {
+		t.Fatalf("blocker: %s %v", st.State, err)
+	}
+}
+
+// TestDerivedRetryAfter fills the queue behind a pinned worker and
+// checks the 429 carries a Retry-After derived from the backlog (8
+// queued jobs × the cold 250ms estimate / 1 worker = 2s), not the old
+// constant 1s.
+func TestDerivedRetryAfter(t *testing.T) {
+	ctx := context.Background()
+	entered, gate := gateServeJob(t)
+	_, c := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	info := uploadCompas(t, c, 200, 5)
+
+	if _, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID}); err != nil {
+		t.Fatal(err)
+	}
+	waitEntered(t, entered)
+	for i := 0; i < 8; i++ {
+		if _, err := c.SubmitJob(ctx, JobRequest{
+			Kind: "identify", DatasetID: info.ID, Seed: 10 + int64(i),
+		}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	_, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID, Seed: 99})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %v, want 429", err)
+	}
+	if ae.RetryAfter != 2*time.Second {
+		t.Fatalf("Retry-After = %v, want 2s (8 queued × 250ms / 1 worker)", ae.RetryAfter)
+	}
+	close(gate)
+}
+
+// TestTenantQuota429 checks an exhausted token bucket surfaces as a
+// 429 whose Retry-After is the (clamped) refill time, and that the
+// default tenant is unaffected.
+func TestTenantQuota429(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8,
+		Tenants: map[string]TenantConfig{
+			"metered": {Weight: 1, Rate: 0.001, Burst: 1}, // ~17min refill → clamped hint
+		},
+	})
+	info := uploadCompas(t, c, 200, 6)
+
+	mc := NewClient(c.BaseURL)
+	mc.Tenant = "metered"
+	if _, err := mc.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID}); err != nil {
+		t.Fatalf("burst submit: %v", err)
+	}
+	_, err := mc.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID, Seed: 2})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %v, want 429", err)
+	}
+	if ae.RetryAfter != 60*time.Second {
+		t.Fatalf("Retry-After = %v, want the 60s clamp", ae.RetryAfter)
+	}
+	// The default tenant rides its own bucket (unlimited here).
+	if _, err := c.SubmitJob(ctx, JobRequest{Kind: "identify", DatasetID: info.ID, Seed: 3}); err != nil {
+		t.Fatalf("default-tenant submit: %v", err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range h.Tenants {
+		if row.Name == "metered" && row.Throttled != 1 {
+			t.Fatalf("metered throttled = %d, want 1", row.Throttled)
+		}
+	}
+}
+
+// TestClientRetryCounters checks the client surfaces its backoff
+// decisions as obs counters instead of logs: retries count per
+// attempt, give-ups once per exhausted budget, breaker trips on the
+// fast-fail path.
+func TestClientRetryCounters(t *testing.T) {
+	ctx := context.Background()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	c := NewRetryingClient(hs.URL, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	c.Obs = obs.NewRegistry()
+	if err := c.Livez(ctx); StatusOf(err) != http.StatusTooManyRequests {
+		t.Fatalf("want 429 after budget, got %v", err)
+	}
+	if got := c.Obs.Counter("client.retries").Value(); got != 2 {
+		t.Fatalf("client.retries = %d, want 2 (3 attempts)", got)
+	}
+	if got := c.Obs.Counter("client.retry_give_up").Value(); got != 1 {
+		t.Fatalf("client.retry_give_up = %d, want 1", got)
+	}
+	if got := c.Obs.Counter("client.retry_status{status=\"429\"}").Value(); got != 2 {
+		t.Fatalf("labeled retry counter = %d, want 2", got)
+	}
+
+	// Breaker fast-fail: open with a probe already in flight.
+	bc := NewRetryingClient(hs.URL, RetryPolicy{MaxAttempts: 1, BreakerThreshold: 2})
+	bc.Obs = obs.NewRegistry()
+	bc.st.open = true
+	bc.st.probing = true
+	if err := bc.Livez(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if got := bc.Obs.Counter("client.breaker_open").Value(); got != 1 {
+		t.Fatalf("client.breaker_open = %d, want 1", got)
+	}
+
+	if StatusOf(errors.New("plain")) != 0 {
+		t.Fatal("StatusOf must be 0 for non-API errors")
+	}
+}

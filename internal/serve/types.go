@@ -118,6 +118,12 @@ type JobRequest struct {
 	// clamped to the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
+	// Tenant names the submitting tenant for fair-share scheduling and
+	// quota accounting. The handler fills it from the X-Remedy-Tenant
+	// header; "" is the default tenant. It never affects the result —
+	// only admission and accounting — so the response cache ignores it.
+	Tenant string `json:"tenant,omitempty"`
+
 	// IdempotencyKey makes the submission safe to retry: a second POST
 	// carrying the same key returns the job the first one created
 	// instead of enqueuing a duplicate. The retrying Client fills it
@@ -131,7 +137,10 @@ type JobStatus struct {
 	ID        string `json:"id"`
 	Kind      string `json:"kind"`
 	DatasetID string `json:"dataset_id"`
-	State     State  `json:"state"`
+	// Tenant is the tenant the job is accounted under (the default
+	// tenant when the submission named none).
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
 	// Error carries the failure detail for failed jobs and the
 	// cancellation cause for cancelled ones.
 	Error string `json:"error,omitempty"`
@@ -259,6 +268,11 @@ type Health struct {
 	// sync; a growing value is the early-warning signal a handoff to
 	// that follower would lose acknowledged work.
 	Lag map[string]uint64 `json:"lag,omitempty"`
+
+	// Tenants is the multi-tenant admission picture: one row per known
+	// tenant with its weight/quota and lifetime accounting, in
+	// deterministic registration order.
+	Tenants []TenantHealth `json:"tenants,omitempty"`
 }
 
 // NodeObs is one node's observability snapshot inside a fleet view:

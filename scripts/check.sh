@@ -51,6 +51,16 @@ echo "== fleet observability: stitched trace + federation (make obs-fleet-check)
 # must equal the sum of the per-node registries.
 go test -race -count=1 -run 'ObsFleet' ./internal/cluster/
 
+echo "== load: harness determinism + multi-tenant admission (make load-check)"
+# The load harness's acceptance test (two same-seed runs byte-identical,
+# zero lost/duplicated jobs, fairness within 20% of weights, at least
+# one response-cache hit) plus the fair-queue/quota/Retry-After/cache
+# unit tests, all under the race detector.
+go vet ./internal/load/... ./cmd/remedyload/...
+go test -race -count=1 ./internal/load/ ./cmd/remedyload/
+go test -race -count=1 \
+    -run 'FairQueue|RetryAfter|Tenant|Cache|ClientRetry' ./internal/serve/
+
 echo "== go test -race ./..."
 go test -race ./...
 
