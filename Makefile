@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check load-check bench fuzz
+.PHONY: all build vet test race check lint lint-graph lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check load-check bench fuzz
 
 all: check
 
@@ -17,11 +17,20 @@ race:
 	$(GO) test -race ./...
 
 # lint runs the full remedylint suite (see cmd/remedylint): the
-# machine-checked form of the repo's correctness contracts. New
-# findings fail; grandfathered ones live in .remedylint-baseline.json
-# and sanctioned exceptions carry //lint:allow comments.
+# machine-checked form of the repo's correctness contracts, including
+# the interprocedural concurrency/durability analyzers (lockorder,
+# heldcall, goroleak, journalgate). New findings fail; sanctioned
+# exceptions carry //lint:allow comments (the baseline is empty).
+# -timings prints per-analyzer wall-clock cost so regressions in the
+# analysis itself are visible.
 lint:
-	$(GO) run ./cmd/remedylint ./...
+	$(GO) run ./cmd/remedylint -timings ./...
+
+# lint-graph dumps the interprocedural evidence the concurrency
+# analyzers reason from: the call-graph summary, every lock class, and
+# the observed lock-order edges with witness sites.
+lint-graph:
+	$(GO) run ./cmd/remedylint -graph ./...
 
 # panicgate is the narrow no-panic gate (a remedylint subset kept as
 # its own target for habit and for fast pre-commit runs). The library's

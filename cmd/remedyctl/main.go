@@ -263,6 +263,7 @@ func servePprof(addr string, m *obs.Registry, lg *obs.Logger) error {
 		return err
 	}
 	lg.Info("pprof serving", "addr", ln.Addr().String())
+	//lint:allow goroleak debug server lives for the whole process; it dies with it
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			lg.Error("pprof server stopped", "err", err)
@@ -414,6 +415,7 @@ func runRemote(ctx context.Context, baseURL, mode string, d *dataset.Dataset, na
 
 	// Stream the dataset up without materializing the CSV in memory.
 	pr, pw := io.Pipe()
+	//lint:allow goroleak bounded by the upload: UploadDataset drains or closes pr, which unblocks the pipe writer either way
 	go func() { pw.CloseWithError(d.WriteCSV(pw)) }()
 	info, err := client.UploadDataset(ctx, pr, name, d.Schema.Target, protected)
 	if err != nil {

@@ -305,6 +305,7 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	}
 
 	serveErr := make(chan error, 1)
+	//lint:allow goroleak Serve returns when hs.Shutdown runs below; the buffered send can never block
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	// The cluster heartbeat: every tick the node replicates, renews its

@@ -20,6 +20,11 @@
 //	-write-baseline            regenerate the baseline from current
 //	                           findings instead of failing on them
 //	-list                      print the suite with docs and exit
+//	-graph                     dump the interprocedural view (call-graph
+//	                           summary, lock classes, lock-order edges)
+//	                           and exit without running analyzers
+//	-timings                   print per-analyzer wall-clock timing
+//	                           after the findings
 //
 // Exit status: 0 when no new findings, 1 when findings survive the
 // baseline and //lint:allow suppressions, 2 on operational errors
@@ -50,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath  = fs.String("baseline", ".remedylint-baseline.json", "baseline file of grandfathered findings (relative to the module root)")
 		writeBaseline = fs.Bool("write-baseline", false, "regenerate the baseline from current findings and exit")
 		list          = fs.Bool("list", false, "list the analyzer suite and exit")
+		graph         = fs.Bool("graph", false, "dump the interprocedural view (call graph, lock classes, lock-order edges) and exit")
+		timings       = fs.Bool("timings", false, "print per-analyzer wall-clock timing after the findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +90,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *graph {
+		if err := analyzers.WriteGraph(stdout, analysis.BuildProgram(pkgs)); err != nil {
+			fmt.Fprintln(stderr, "remedylint:", err)
+			return 2
+		}
+		return 0
+	}
+
 	bpath := *baselinePath
 	if !filepath.IsAbs(bpath) {
 		bpath = filepath.Join(loader.ModuleDir, bpath)
@@ -112,6 +127,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else if err := analysis.WriteText(stdout, res); err != nil {
 		fmt.Fprintln(stderr, "remedylint:", err)
 		return 2
+	}
+	if *timings {
+		fmt.Fprintln(stdout, "timing:")
+		for _, row := range res.TimingRows() {
+			fmt.Fprintf(stdout, "  %s\n", row)
+		}
 	}
 
 	// A tree that does not type-check cannot be trusted to be clean.

@@ -196,3 +196,57 @@ func TestSelfCheck(t *testing.T) {
 		t.Errorf("self-check must be warning-free:\n%s", out.String())
 	}
 }
+
+// -graph dumps the interprocedural evidence instead of running
+// analyzers: the call-graph summary, interned lock classes, and the
+// observed lock-order edges with their witness sites.
+func TestGraphDumpsLockOrder(t *testing.T) {
+	scratchModule(t, map[string]string{
+		"p/p.go": `package p
+
+import "sync"
+
+type box struct {
+	a, b sync.Mutex
+}
+
+func (x *box) swap() {
+	x.a.Lock()
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Unlock()
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"callgraph:", "lock classes: 2", "p.box.a", "p.box.b",
+		"lock-order edges: 1", "p.box.a -> p.box.b",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("graph dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// -timings appends per-analyzer wall-clock rows (plus the shared
+// call-graph build) to the text report.
+func TestTimingsRowsPrinted(t *testing.T) {
+	scratchModule(t, map[string]string{
+		"p/p.go": "package p\n\nfunc ok() {}\n",
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-timings", "-analyzers", "lockorder,heldcall", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"timing:", "lockorder", "heldcall", "(callgraph)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timing output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -121,6 +121,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
 			return lerr
 		}
 		hs := &http.Server{Handler: srv.Handler()}
+		//lint:allow goroleak Serve returns when the deferred hs.Shutdown below runs
 		go func() {
 			if serr := hs.Serve(ln); serr != nil && serr != http.ErrServerClosed {
 				lg.Error("in-process server", "err", serr)

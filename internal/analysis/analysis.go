@@ -82,7 +82,11 @@ type Package struct {
 // Pass is the per-(analyzer, package) reporting context handed to an
 // Analyzer's Run function.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// Prog is the module-wide call graph and lock-set view, shared by
+	// every pass of one run. Non-nil only when at least one selected
+	// analyzer sets NeedsProgram; analyzers that set it may assume it.
+	Prog     *Program
 	analyzer *Analyzer
 	report   func(Diagnostic)
 }
@@ -109,6 +113,10 @@ type Analyzer struct {
 	// AppliesTo reports whether the analyzer should run on the package
 	// with the given import path. A nil AppliesTo means every package.
 	AppliesTo func(pkgPath string) bool
+	// NeedsProgram requests the module-wide interprocedural view: when
+	// set, the driver builds one Program over all loaded packages and
+	// hands it to every pass as Pass.Prog.
+	NeedsProgram bool
 	// Run performs the check.
 	Run func(*Pass)
 }

@@ -19,6 +19,10 @@ func All() []*analysis.Analyzer {
 		CtxFirst,
 		Determinism,
 		ErrDiscard,
+		Goroleak,
+		Heldcall,
+		Journalgate,
+		Lockorder,
 		ObsPair,
 		PanicGate,
 	}

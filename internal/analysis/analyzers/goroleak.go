@@ -1,0 +1,182 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Goroleak enforces the bounded-goroutine contract: every `go`
+// statement must have a visible cancellation path, so that shutdown
+// actually terminates the process and long-running servers do not
+// accrete parked goroutines. A spawned body (or any function it
+// synchronously calls inside the module) satisfies the contract by:
+//
+//   - receiving from a channel (`<-ctx.Done()` in a select, a
+//     close-signal channel, a work channel that closes on shutdown),
+//   - ranging over a channel,
+//   - joining a WaitGroup ((*sync.WaitGroup).Done marks the goroutine
+//     as joined-on-shutdown; .Wait marks a joiner),
+//   - blocking on a condition variable ((*sync.Cond).Wait — woken by
+//     Broadcast on close, the fair-queue pattern).
+//
+// Spawns of function values the call graph cannot see into are flagged
+// as unverifiable. Process-lifetime goroutines that intentionally
+// outlive cancellation (an http.Server accept loop whose shutdown is
+// the process exiting) waive with //lint:allow goroleak and a
+// justification.
+var Goroleak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement needs a cancellation path: a ctx.Done/channel " +
+		"receive, a channel range, a joined WaitGroup, or a Cond wait",
+	NeedsProgram: true,
+	Run:          runGoroleak,
+}
+
+func runGoroleak(pass *analysis.Pass) {
+	prog := pass.Prog
+	for _, fn := range prog.Nodes {
+		if fn.Pkg != pass.Pkg {
+			continue
+		}
+		for _, site := range fn.Gos {
+			switch {
+			case site.Lit != nil:
+				if !bodyTerminates(prog, fn.Pkg, site.Lit.Body, map[*analysis.FuncNode]bool{}) {
+					pass.Report(site.Stmt.Pos(), "goroutine has no cancellation path (no channel receive, WaitGroup join, or Cond wait); bound it to a context or shutdown signal, or waive with //lint:allow goroleak")
+				}
+			case len(site.Targets) > 0:
+				for _, t := range site.Targets {
+					if !nodeTerminates(prog, t) {
+						pass.Report(site.Stmt.Pos(), "goroutine running %s has no cancellation path (no channel receive, WaitGroup join, or Cond wait); bound it to a context or shutdown signal, or waive with //lint:allow goroleak", t.Name())
+						break
+					}
+				}
+			default:
+				pass.Report(site.Stmt.Pos(), "cannot verify a cancellation path for this dynamically-dispatched goroutine; spawn a named function or waive with //lint:allow goroleak")
+			}
+		}
+	}
+}
+
+// nodeTerminates memoizes the termination answer per declared function.
+func nodeTerminates(prog *analysis.Program, fn *analysis.FuncNode) bool {
+	v := prog.Cache("goroleak.term", func() any { return map[*analysis.FuncNode]bool{} })
+	memo, ok := v.(map[*analysis.FuncNode]bool)
+	if !ok {
+		return true
+	}
+	if t, ok := memo[fn]; ok {
+		return t
+	}
+	t := bodyTerminates(prog, fn.Pkg, fn.Decl.Body, map[*analysis.FuncNode]bool{fn: true})
+	memo[fn] = t
+	return t
+}
+
+// bodyTerminates scans one body for a cancellation signal, excluding
+// nested `go` subtrees (an inner goroutine's signal does not bound the
+// outer one) and recursing one call-graph hop at a time into
+// module-local callees.
+func bodyTerminates(prog *analysis.Program, pkg *analysis.Package, body ast.Node, visiting map[*analysis.FuncNode]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if syncJoinCall(pkg, n) {
+				found = true
+				return false
+			}
+			if callee := calleeFunc(pkg, n); callee != nil {
+				if t := prog.FuncFor(callee); t != nil && !visiting[t] {
+					visiting[t] = true
+					if bodyTerminates(prog, t.Pkg, t.Decl.Body, visiting) {
+						found = true
+					}
+					delete(visiting, t)
+					if found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// syncJoinCall reports whether call is (*sync.WaitGroup).Done/.Wait or
+// (*sync.Cond).Wait.
+func syncJoinCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := pkg.TypesInfo.Selections[sel]
+	if s == nil {
+		return false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "WaitGroup":
+		return f.Name() == "Done" || f.Name() == "Wait"
+	case "Cond":
+		return f.Name() == "Wait"
+	}
+	return false
+}
+
+// calleeFunc resolves a call's function object through the package's
+// type info (static and method calls only).
+func calleeFunc(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pkg.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s := pkg.TypesInfo.Selections[fun]; s != nil {
+			if f, ok := s.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := pkg.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

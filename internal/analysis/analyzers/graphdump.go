@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// WriteGraph dumps the interprocedural view the NeedsProgram analyzers
+// share — a call-graph summary, every interned lock class, and the
+// observed lock-order edges — in deterministic order. It backs
+// remedylint's -graph flag: the debugging surface for "why did
+// lockorder (or heldcall) think that", showing the evidence without
+// having to re-derive it from findings.
+func WriteGraph(w io.Writer, prog *analysis.Program) error {
+	var calls, async, deferred, iface, dynamic, sends, gos int
+	for _, fn := range prog.Nodes {
+		gos += len(fn.Gos)
+		for _, cs := range fn.Calls {
+			calls++
+			if cs.Async {
+				async++
+			}
+			if cs.Deferred {
+				deferred++
+			}
+			switch cs.Kind {
+			case analysis.CallInterface:
+				iface++
+			case analysis.CallDynamic:
+				dynamic++
+			case analysis.CallSend:
+				sends++
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"callgraph: %d functions, %d call sites (%d async, %d deferred, %d interface, %d dynamic, %d unbuffered-send), %d go statements\n",
+		len(prog.Nodes), calls, async, deferred, iface, dynamic, sends, gos); err != nil {
+		return err
+	}
+
+	// Lock classes: every mutex the lock-set layer saw acquired, with
+	// how many functions hold it somewhere.
+	holders := map[*analysis.LockClass]map[*analysis.FuncNode]bool{}
+	for _, fn := range prog.Nodes {
+		for _, r := range prog.LockRegions(fn) {
+			if holders[r.Class] == nil {
+				holders[r.Class] = map[*analysis.FuncNode]bool{}
+			}
+			holders[r.Class][fn] = true
+		}
+	}
+	classes := make([]*analysis.LockClass, 0, len(holders))
+	for c := range holders {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Key < classes[j].Key })
+	if _, err := fmt.Fprintf(w, "lock classes: %d\n", len(classes)); err != nil {
+		return err
+	}
+	for _, c := range classes {
+		kind := "sync.Mutex"
+		if c.RW {
+			kind = "sync.RWMutex"
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %-12s held in %d function(s)\n",
+			c.Key, kind, len(holders[c])); err != nil {
+			return err
+		}
+	}
+
+	// Lock-order edges, from the same cached computation lockorder
+	// reports from, each with its witness site.
+	v := prog.Cache("lockorder.result", func() any { return computeLockorder(prog) })
+	res, ok := v.(*lockorderResult)
+	if !ok || res == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "lock-order edges: %d\n", len(res.keys)); err != nil {
+		return err
+	}
+	for _, k := range res.keys {
+		e := res.edges[k]
+		p := e.fn.Pkg.Fset.Position(e.pos)
+		marker := ""
+		if e.readerPair {
+			marker = " (reader pair)"
+		}
+		if _, err := fmt.Fprintf(w, "  %s -> %s%s at %s:%d (%s)\n",
+			k[0].Key, k[1].Key, marker, filepath.Base(p.Filename), p.Line, e.fn.Name()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Journalgate encodes the PR 5 durability contract the way obspair
+// encodes span pairing: in internal/serve and internal/cluster, every
+// job state transition must reach a durable journal append before the
+// transition becomes observable (the HTTP response, the job's done
+// channel, a steal acknowledgment). A transition acknowledged before
+// it is journaled is exactly the crash window PR 5 exists to close: a
+// restart would re-run (or silently drop) work whose submitter was
+// already answered.
+//
+// Recognized transitions:
+//
+//   - calls to a method named finishLocked (the single choke point
+//     serve routes terminal transitions through), and
+//   - direct assignments to a `state` field of any struct that also
+//     declares finishLocked (the in-flight transitions: queued ->
+//     stolen, queued -> running).
+//
+// A journal event is any synchronous call that — directly or down the
+// call graph — reaches a method named Append or AppendReplicated on a
+// type in internal/durable.
+//
+// The check is a source-order approximation of the per-return-path
+// question: every transition needs a journal event earlier in the same
+// function body. finishLocked itself is exempt (it is the mechanism,
+// not a policy decision), and replay/recovery paths that reconstruct
+// state FROM the journal waive with //lint:allow journalgate and a
+// justification.
+var Journalgate = &analysis.Analyzer{
+	Name: "journalgate",
+	Doc: "every job state transition in serve/cluster must reach a durable " +
+		"journal append earlier in the same function (journal before acknowledge)",
+	AppliesTo: func(path string) bool {
+		return isUnder(path, "internal", "serve") ||
+			isUnder(path, "internal", "cluster") ||
+			isUnder(path, "src", "journalgate")
+	},
+	NeedsProgram: true,
+	Run:          runJournalgate,
+}
+
+func runJournalgate(pass *analysis.Pass) {
+	prog := pass.Prog
+	for _, fn := range prog.Nodes {
+		if fn.Pkg != pass.Pkg || fn.Obj.Name() == "finishLocked" {
+			continue
+		}
+		// Journal-event positions, in source order.
+		var journaled []token.Pos
+		for _, cs := range fn.Calls {
+			if cs.Async {
+				continue
+			}
+			if _, ok := journalPrimitive(cs); ok {
+				journaled = append(journaled, cs.Pos)
+				continue
+			}
+			for _, t := range cs.Targets {
+				if prog.ReachVia("journalgate", t, journalPrimitive) != nil {
+					journaled = append(journaled, cs.Pos)
+					break
+				}
+			}
+		}
+		journaledBefore := func(n ast.Node) bool {
+			for _, j := range journaled {
+				if j < n.Pos() {
+					return true
+				}
+			}
+			return false
+		}
+		// Transition 1: finishLocked calls.
+		for _, cs := range fn.Calls {
+			if cs.Async || cs.Callee == nil || cs.Callee.Name() != "finishLocked" {
+				continue
+			}
+			if !journaledBefore(cs.Call) {
+				pass.Report(cs.Pos, "state transition (finishLocked) with no durable journal append earlier in this function; journal before acknowledging (PR 5 contract) or waive with //lint:allow journalgate")
+			}
+		}
+		// Transition 2: direct `x.state = v` assignments on
+		// finishLocked-bearing structs.
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "state" {
+					continue
+				}
+				tv, ok := fn.Pkg.TypesInfo.Types[sel.X]
+				if !ok || !hasFinishLocked(tv.Type, fn.Pkg) {
+					continue
+				}
+				if !journaledBefore(as) {
+					pass.Report(as.Pos(), "direct state transition (.state assignment) with no durable journal append earlier in this function; journal before acknowledging (PR 5 contract) or waive with //lint:allow journalgate")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// journalPrimitive matches the durable journal's append entry points.
+func journalPrimitive(cs *analysis.CallSite) (string, bool) {
+	if cs.Callee == nil {
+		return "", false
+	}
+	name := cs.Callee.Name()
+	if name != "Append" && name != "AppendReplicated" {
+		return "", false
+	}
+	sig, ok := cs.Callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if isUnder(named.Obj().Pkg().Path(), "internal", "durable") {
+		return "durable journal append (" + named.Obj().Name() + "." + name + ")", true
+	}
+	return "", false
+}
+
+// hasFinishLocked reports whether t (or *t) declares a finishLocked
+// method.
+func hasFinishLocked(t types.Type, pkg *analysis.Package) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.(*types.Named); !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, pkg.Types, "finishLocked")
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -28,7 +28,13 @@ import (
 //     counts as an End when that same-package callee ends the
 //     corresponding parameter; callees the analyzer cannot see into
 //     (other packages, interface methods) are assumed to take over
-//     responsibility.
+//     responsibility;
+//   - a span that escapes the function — stored into a struct field or
+//     element, placed in a composite literal, returned, or sent on a
+//     channel — is an ownership handoff, not a leak: whoever drains
+//     the carrier ends it (the steal-result span-graft pattern, where
+//     a worker's spans ride a result struct back to the origin node's
+//     tracer).
 //
 // Function literals are separate scopes: spans started inside a
 // closure must be balanced inside it. Deliberate exceptions (a span
@@ -115,6 +121,51 @@ func checkSpanBalance(pass *analysis.Pass, body *ast.BlockStmt, decls map[types.
 		return
 	}
 
+	// Pass 1.5: spans that escape this function hand ownership to
+	// whoever holds the escaped reference — ending them here would be a
+	// double-End. Escapes are: assignment into a field or element,
+	// appearance in a composite literal, being returned, or a channel
+	// send.
+	escaped := make(map[types.Object]bool)
+	walkSkipFuncLit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return // multi-value call form: RHS is a call, nothing escapes
+			}
+			for i, rhs := range n.Rhs {
+				obj := objectFor(pass, rhs)
+				if obj == nil {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					escaped[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := objectFor(pass, r); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := objectFor(pass, n.Value); obj != nil {
+				escaped[obj] = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := objectFor(pass, e); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		}
+	})
+
 	// endsSpan reports whether the statement-level node ends obj:
 	// obj.End(), a call to a local closure whose body ends obj, or a
 	// function literal (deferred) containing obj.End().
@@ -143,6 +194,9 @@ func checkSpanBalance(pass *analysis.Pass, body *ast.BlockStmt, decls map[types.
 	}
 
 	for _, st := range starts {
+		if escaped[st.obj] {
+			continue
+		}
 		deferred := false
 		var endPositions []token.Pos
 		walkSkipFuncLit(body, func(n ast.Node) {

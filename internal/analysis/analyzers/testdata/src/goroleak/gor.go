@@ -1,0 +1,88 @@
+// Package goroleak is a remedylint fixture for the bounded-goroutine
+// contract: every go statement needs a visible cancellation path.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// ctxBound selects on ctx.Done: fine.
+func ctxBound(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case n := <-work:
+				_ = n
+			}
+		}
+	}()
+}
+
+// wgJoined is joined on shutdown through the WaitGroup: fine.
+func wgJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// worker ranges over its channel, so it ends when the channel closes.
+func worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// namedWorker spawns a declared function whose cancellation path the
+// call graph can see: fine.
+func namedWorker(jobs chan int) {
+	go worker(jobs)
+}
+
+// condWaiter blocks on a condition variable (woken by Broadcast on
+// shutdown, the fair-queue pattern): fine.
+func condWaiter(c *sync.Cond) {
+	go func() {
+		c.L.Lock()
+		c.Wait()
+		c.L.Unlock()
+	}()
+}
+
+// leaky spins forever with no way to stop it.
+func leaky() {
+	go func() { // want "no cancellation path"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// spin has no signal, so spawning it by name is flagged too.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func leakyNamed() {
+	go spin() // want "no cancellation path"
+}
+
+// dynamic spawns a function value the call graph cannot see into.
+func dynamic(f func()) {
+	go f() // want "cannot verify a cancellation path"
+}
+
+// waived models a process-lifetime accept loop whose shutdown is the
+// process exiting.
+func waived() {
+	//lint:allow goroleak fixture: process-lifetime loop, stopped only by process exit
+	go spin()
+}
+
+var _ = []any{ctxBound, wgJoined, namedWorker, condWaiter, leaky, leakyNamed, dynamic, waived}

@@ -1,0 +1,88 @@
+// Package heldcall is a remedylint fixture for the no-blocking-under-
+// lock contract: network round-trips, unbuffered sends, and fsyncs may
+// not be reached while a mutex is held.
+package heldcall
+
+import (
+	"os"
+	"sync"
+
+	fixserve "repro/internal/analysis/analyzers/testdata/src/heldcall/internal/serve"
+)
+
+type server struct {
+	mu sync.Mutex
+	f  *os.File
+	cl *fixserve.Client
+}
+
+// badFsync holds the lock across the persistence barrier.
+func (s *server) badFsync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "fsync"
+}
+
+// badNetwork holds the lock across a client round-trip.
+func (s *server) badNetwork() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.DoJSON("/jobs") // want "network round-trip"
+}
+
+// badIndirect reaches the round-trip through a helper: the
+// interprocedural case.
+func (s *server) badIndirect() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want "network round-trip"
+}
+
+func (s *server) flush() error {
+	return s.cl.DoJSON("/flush")
+}
+
+// badSend parks on an unbuffered channel while holding the lock.
+func (s *server) badSend() {
+	ready := make(chan int)
+	s.mu.Lock()
+	ready <- 1 // want "unbuffered"
+	s.mu.Unlock()
+}
+
+// goodCopyThenCall is the sanctioned discipline: copy under the lock,
+// release, then block.
+func (s *server) goodCopyThenCall() error {
+	s.mu.Lock()
+	cl := s.cl
+	s.mu.Unlock()
+	return cl.DoJSON("/jobs")
+}
+
+// goodBufferedSend cannot park: the buffer absorbs the value.
+func (s *server) goodBufferedSend() {
+	done := make(chan int, 1)
+	s.mu.Lock()
+	done <- 1
+	s.mu.Unlock()
+}
+
+// goodMethodValue takes the method value without calling it: no
+// round-trip happens under the lock.
+func (s *server) goodMethodValue() func(string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.DoJSON
+}
+
+// waivedFsync models the durable journal: serializing append+fsync
+// under the mutex is the design.
+func (s *server) waivedFsync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow heldcall fixture: the mutex exists to serialize the fsync, mirroring durable.Journal.append
+	return s.f.Sync()
+}
+
+var _ = []any{(*server).badFsync, (*server).badNetwork, (*server).badIndirect,
+	(*server).badSend, (*server).goodCopyThenCall, (*server).goodBufferedSend, (*server).waivedFsync}

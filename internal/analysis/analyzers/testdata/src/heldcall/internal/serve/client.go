@@ -1,0 +1,14 @@
+// Package serve is a fixture stand-in for the real retrying
+// serve.Client: heldcall classifies any exported method on a type
+// named Client under an internal/serve path as a network round-trip.
+package serve
+
+type Client struct{}
+
+// DoJSON models a blocking round-trip.
+func (c *Client) DoJSON(path string) error { return nil }
+
+// reset is unexported, so calls to it are not classified as blocking.
+func (c *Client) reset() {}
+
+var _ = (*Client).reset

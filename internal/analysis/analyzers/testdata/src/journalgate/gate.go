@@ -1,0 +1,76 @@
+// Package journalgate is a remedylint fixture for the journal-before-
+// acknowledge contract: every job state transition must reach a
+// durable journal append earlier in the same function.
+package journalgate
+
+import (
+	fixdur "repro/internal/analysis/analyzers/testdata/src/journalgate/internal/durable"
+)
+
+type job struct {
+	state    int
+	attempts int
+}
+
+// finishLocked is the transition choke point; assignments inside it
+// are the mechanism, not a policy decision, and are exempt.
+func (j *job) finishLocked(s int) {
+	j.state = s
+}
+
+type engine struct {
+	journal *fixdur.Journal
+}
+
+// goodFinish journals the transition before making it observable.
+func (e *engine) goodFinish(j *job) error {
+	if err := e.journal.Append(3); err != nil {
+		return err
+	}
+	j.finishLocked(3)
+	return nil
+}
+
+// journalState is the indirection the real serve engine uses: the
+// append is one call-graph hop away.
+func (e *engine) journalState(s int) error {
+	return e.journal.Append(s)
+}
+
+// goodIndirect reaches the journal through the helper before the
+// direct state assignment.
+func (e *engine) goodIndirect(j *job) error {
+	if err := e.journalState(2); err != nil {
+		return err
+	}
+	j.state = 2
+	return nil
+}
+
+// badFinish acknowledges a terminal transition nothing journaled: the
+// crash window PR 5 closes.
+func (e *engine) badFinish(j *job) {
+	j.finishLocked(4) // want "no durable journal append"
+}
+
+// badAssign transitions in-flight state without a journal record.
+func (e *engine) badAssign(j *job) {
+	j.attempts++
+	j.state = 5 // want "no durable journal append"
+}
+
+// badOrder journals only AFTER the transition is observable.
+func (e *engine) badOrder(j *job) error {
+	j.finishLocked(6) // want "no durable journal append"
+	return e.journal.Append(6)
+}
+
+// recovery replays records: state is reconstructed FROM the journal,
+// so there is nothing to append first.
+func (e *engine) recovery(j *job, replayed int) {
+	//lint:allow journalgate fixture: replay path reconstructs state from the journal it is reading
+	j.state = replayed
+}
+
+var _ = []any{(*engine).goodFinish, (*engine).goodIndirect, (*engine).badFinish,
+	(*engine).badAssign, (*engine).badOrder, (*engine).recovery}

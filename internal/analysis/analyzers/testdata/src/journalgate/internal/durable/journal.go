@@ -1,0 +1,18 @@
+// Package durable is a fixture stand-in for the real CRC-framed job
+// journal: journalgate classifies Append/AppendReplicated methods on
+// types under an internal/durable path as journal events.
+package durable
+
+type Journal struct {
+	appended int
+}
+
+func (j *Journal) Append(v int) error {
+	j.appended++
+	return nil
+}
+
+func (j *Journal) AppendReplicated(v int) error {
+	j.appended++
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package lockorder is a remedylint fixture for the lock-ordering
+// contract: opposing acquisition orders form a cycle, and sync.Mutex
+// is not reentrant.
+package lockorder
+
+import "sync"
+
+type P struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Q struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inversionOne acquires P.mu then Q.mu; inversionTwo opposes it. The
+// cycle is reported once, at its first-seen edge.
+func inversionOne(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock() // want "lock-order cycle"
+	q.n++
+	q.mu.Unlock()
+}
+
+func inversionTwo(p *P, q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Double re-acquires c.mu through the helper while already holding it:
+// a guaranteed self-deadlock.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want "reacquired while already held"
+	c.bump()
+}
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// waivedOne/waivedTwo oppose each other like the inversion pair above,
+// but the fixture pretends a runtime invariant makes the race
+// impossible, exercising suppression at the witness edge.
+func waivedOne(r *R, s *S) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:allow lockorder fixture: a (pretend) runtime invariant keeps these two paths from running concurrently
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func waivedTwo(r *R, s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// ordered takes the same two locks in one consistent order everywhere:
+// edges exist, but no cycle, so nothing is reported.
+func ordered(p *P, c *Counter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+var _ = []any{inversionOne, inversionTwo, waivedOne, waivedTwo, ordered}

@@ -1,0 +1,45 @@
+// Package lockorder_regression reintroduces, in miniature, the lock
+// inversion the PR 6 review caught in internal/cluster: the documented
+// discipline is applyMu before mu (promote's order), and an apply-path
+// helper that takes mu first and then fences on applyMu opposes it.
+// lockorder must flag this pattern; the regression test in
+// lockorder_regression_test.go pins that.
+package lockorder_regression
+
+import "sync"
+
+type Node struct {
+	applyMu sync.Mutex
+	mu      sync.Mutex
+	role    int
+	term    int
+}
+
+// promote follows the documented order: applyMu serializes promotions,
+// mu guards the role fields.
+func (n *Node) promote() {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	n.role = 1
+	n.term++
+	n.mu.Unlock()
+}
+
+// applyFrame is the reintroduced bug: it holds mu and then fences on
+// applyMu through a helper — the reverse of promote's order. Run
+// concurrently with promote, each side can hold the lock the other
+// needs.
+func (n *Node) applyFrame() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fence()
+}
+
+func (n *Node) fence() {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.term++
+}
+
+var _ = []any{(*Node).promote, (*Node).applyFrame}

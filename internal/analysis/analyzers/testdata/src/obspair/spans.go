@@ -1,0 +1,56 @@
+package obspair
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// --- ownership-handoff escapes (the steal-result span-graft class) ---
+// A span stored into a struct field, composite literal, return value,
+// or channel changes hands: the holder of the escaped reference ends
+// it, so none of these are leaks.
+
+type stealResult struct {
+	Span  *obs.Span
+	Spans []*obs.Span
+}
+
+func fieldHandoff(ctx context.Context, res *stealResult) {
+	_, sp := obs.StartSpan(ctx, "grafted")
+	sp.SetInt("attempt", 1)
+	res.Span = sp
+}
+
+func sliceElemHandoff(ctx context.Context, res *stealResult) {
+	_, sp := obs.StartSpan(ctx, "grafted")
+	res.Spans[0] = sp
+}
+
+func literalHandoff(ctx context.Context) stealResult {
+	_, sp := obs.StartSpan(ctx, "grafted")
+	return stealResult{Span: sp}
+}
+
+func sliceLiteralHandoff(ctx context.Context) []*obs.Span {
+	_, sp := obs.StartSpan(ctx, "grafted")
+	return []*obs.Span{sp}
+}
+
+func returnHandoff(ctx context.Context) *obs.Span {
+	_, sp := obs.StartSpan(ctx, "caller-owned")
+	return sp
+}
+
+func channelHandoff(ctx context.Context, out chan<- *obs.Span) {
+	_, sp := obs.StartSpan(ctx, "shipped")
+	out <- sp
+}
+
+// Control: a span that only escapes into a plain local variable has
+// not changed hands; the leak is still real.
+func aliasNoHandoff(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "aliased") // want "never ended"
+	alias := sp
+	alias.SetInt("n", 1)
+}

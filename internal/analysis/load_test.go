@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under t.TempDir: files
+// maps module-relative paths to contents, and a go.mod naming the
+// module "scratch" is added unless files provides one. The test
+// modules import nothing so no standard-library type-checking runs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+	return dir
+}
+
+func TestNewLoaderNoModule(t *testing.T) {
+	// A bare directory tree with no go.mod anywhere above it. TempDir
+	// lives under the system temp root, which has none.
+	dir := t.TempDir()
+	if _, err := NewLoader(dir); err == nil || !strings.Contains(err.Error(), "no go.mod found") {
+		t.Fatalf("NewLoader on module-less dir: err = %v, want no-go.mod error", err)
+	}
+}
+
+func TestNewLoaderNoModuleDirective(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "// a go.mod with no module line\ngo 1.22\n",
+	})
+	if _, err := NewLoader(dir); err == nil || !strings.Contains(err.Error(), "no module directive") {
+		t.Fatalf("NewLoader: err = %v, want missing-module-directive error", err)
+	}
+}
+
+func TestLoadUnparseableFile(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/ok.go":     "package p\n\nfunc OK() {}\n",
+		"p/broken.go": "package p\n\nfunc Broken() { this is not go\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.Load(filepath.Join(dir, "p"))
+	if err == nil || !strings.Contains(err.Error(), "analysis: parse:") {
+		t.Fatalf("Load with syntax error: err = %v, want hard parse error", err)
+	}
+}
+
+// A type error mid-package is soft: the package still loads (with
+// partial type information) and the failures land in TypeErrors, so
+// analyzers can run on the healthy files.
+func TestLoadTypeErrorIsSoft(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/ok.go":  "package p\n\nfunc OK() int { return 1 }\n",
+		"p/bad.go": "package p\n\nfunc Bad() int { return undefinedName }\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join(dir, "p"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("TypeErrors empty; the undefined reference should be recorded")
+	}
+	if pkg.Types == nil {
+		t.Fatal("Types nil; Check should return the partial package on soft errors")
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("Files = %d, want both files parsed", len(pkg.Files))
+	}
+	var found bool
+	for _, te := range pkg.TypeErrors {
+		if strings.Contains(te.Error(), "undefinedName") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("TypeErrors %v do not mention undefinedName", pkg.TypeErrors)
+	}
+}
+
+func TestLoadNoBuildableFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/only_test.go": "package p\n",
+		"p/notes.txt":    "not go\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.Load(filepath.Join(dir, "p"))
+	if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Fatalf("Load on test-only dir: err = %v, want no-buildable-files error", err)
+	}
+}
+
+// An import cycle is detected by the in-progress marker and surfaces
+// as a soft type error on the package whose import closes the loop —
+// the loader itself must not recurse forever or crash.
+func TestLoadImportCycle(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport _ \"scratch/b\"\n",
+		"b/b.go": "package b\n\nimport _ \"scratch/a\"\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var cycle bool
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			if strings.Contains(te.Error(), "import cycle") {
+				cycle = true
+			}
+		}
+	}
+	if !cycle {
+		t.Fatalf("no package recorded the import cycle; packages: %v", pkgs)
+	}
+}
+
+// The recursive pattern walks every package directory but skips
+// testdata, vendor, hidden and underscore directories.
+func TestLoadRecursiveSkipsNonPackageDirs(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/p.go":               "package p\n",
+		"p/q/q.go":             "package q\n",
+		"p/testdata/t.go":      "package broken ???\n",
+		"p/vendor/v.go":        "package v\n",
+		"p/.hidden/h.go":       "package h\n",
+		"p/_underscore/u.go":   "package u\n",
+		"p/empty/.placeholder": "",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join(dir, "p") + "/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var paths []string
+	for _, pkg := range pkgs {
+		paths = append(paths, pkg.Path)
+	}
+	want := []string{"scratch/p", "scratch/p/q"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("recursive load found %v, want %v", paths, want)
+	}
+}

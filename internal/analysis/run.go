@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // Finding is a Diagnostic that survived suppression and baseline
@@ -43,6 +44,30 @@ type Result struct {
 	TypeErrors []string `json:"type_errors,omitempty"`
 	// Analyzers lists the analyzer names that ran, sorted.
 	Analyzers []string `json:"analyzers"`
+	// Timings accumulates wall-clock time per analyzer across all
+	// packages (plus a "(callgraph)" entry for Program construction).
+	// Diagnostic output for `make lint -timings`; excluded from the
+	// JSON artifact so reports stay byte-stable run-to-run.
+	Timings map[string]time.Duration `json:"-"`
+}
+
+// TimingRows renders Timings sorted by descending cost for display.
+func (r *Result) TimingRows() []string {
+	names := make([]string, 0, len(r.Timings))
+	for name := range r.Timings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if r.Timings[names[i]] != r.Timings[names[j]] {
+			return r.Timings[names[i]] > r.Timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	rows := make([]string, len(names))
+	for i, name := range names {
+		rows[i] = fmt.Sprintf("%-14s %s", name, r.Timings[name].Round(time.Microsecond))
+	}
+	return rows
 }
 
 // Run executes the analyzers over the packages, then applies
@@ -51,13 +76,29 @@ type Result struct {
 func Run(pkgs []*Package, analyzers []*Analyzer, baseline *Baseline, moduleDir string) *Result {
 	// Findings starts non-nil so the JSON artifact always carries an
 	// explicit array, never null.
-	res := &Result{Findings: []Finding{}}
+	res := &Result{Findings: []Finding{}, Timings: map[string]time.Duration{}}
 	for _, a := range analyzers {
 		res.Analyzers = append(res.Analyzers, a.Name)
+		// Pre-seed so every selected analyzer shows a timing row even
+		// when AppliesTo filters it off all loaded packages.
+		res.Timings[a.Name] = 0
 	}
 	sort.Strings(res.Analyzers)
 	if baseline == nil {
 		baseline = &Baseline{Version: 1}
+	}
+
+	// Wall-clock timing here is diagnostic output for the lint tooling
+	// itself (make lint), never analysis input, so the determinism
+	// contract's seeded-clock rule does not apply.
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedsProgram {
+			start := time.Now() //lint:allow determinism diagnostic timing of the lint run itself, not analysis input
+			prog = BuildProgram(pkgs)
+			res.Timings["(callgraph)"] = time.Since(start)
+			break
+		}
 	}
 
 	var raw []Diagnostic
@@ -71,10 +112,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer, baseline *Baseline, moduleDir s
 			}
 			pass := &Pass{
 				Pkg:      pkg,
+				Prog:     prog,
 				analyzer: a,
 				report:   func(d Diagnostic) { raw = append(raw, d) },
 			}
+			start := time.Now() //lint:allow determinism diagnostic timing of the lint run itself, not analysis input
 			a.Run(pass)
+			res.Timings[a.Name] += time.Since(start)
 		}
 	}
 

@@ -404,6 +404,12 @@ func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, co
 	newTerm := n.term + 1
 	n.mu.Unlock()
 	seq := n.journal.Sequence()
+	// applyMu (held for this whole function) intentionally covers the
+	// term-record fsync: the term record IS the fencing token, so no
+	// replicated frame may land between deciding to promote and
+	// journaling the decision. n.mu was released above; only the
+	// promotion fence waits on the disk.
+	//lint:allow heldcall applyMu must cover the term-record append: the fencing token has to hit the journal before any replication interleaves
 	if err := n.journal.Append(ctx, durable.Record{
 		Type: durable.RecTerm, Term: newTerm, Leader: n.cfg.ID,
 	}); err != nil {
@@ -420,6 +426,11 @@ func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, co
 	n.metrics.Gauge("cluster.leader_term").Set(float64(newTerm))
 	n.events.Append("promoted", fmt.Sprintf("%s promoted to leader at term %d", n.cfg.ID, newTerm))
 	n.logger.Info("promoted to leader", "term", newTerm)
+	// Promotion replays the journal and re-journals interrupted jobs,
+	// all under the applyMu fence — replication must not interleave
+	// with recovery, so holding the lock across these fsyncs is the
+	// point, not an accident.
+	//lint:allow heldcall serve.Promote recovers and re-journals under the applyMu fence by design; replication may not interleave with recovery
 	if err := n.srv.Promote(ctx); err != nil {
 		return fmt.Errorf("cluster: promote node %s: %w", n.cfg.ID, err)
 	}

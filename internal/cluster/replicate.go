@@ -230,6 +230,10 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 		if pos > local {
 			break // gap: the leader will backfill from our HaveSeq
 		}
+		// Held across the fsync on purpose: applyMu is the fence that
+		// keeps frame application, truncation, and promotion mutually
+		// exclusive; a follower applying frames has nothing else to do.
+		//lint:allow heldcall applyMu serializes frame application against truncation and promotion; the fsync is the applied frame's durability point
 		if err := n.journal.AppendReplicated(ctx, rec); err != nil {
 			n.logger.Error("replicated append failed", "seq", pos, "err", err)
 			break

@@ -283,7 +283,7 @@ func (h *Hierarchy) IdentifyOptimizedCtx(ctx context.Context, cfg Config) (*Resu
 				h.sortRegions(res.Regions)
 				return res, err
 			}
-			//lint:allow obspair lvlSpan is ended by the endLevel closure on every path (loop body, resume fold, and the final endLevel call)
+			//lint:allow obspair lvlSpan is ended by the endLevel closure on every path, but the closure is always invoked in if-init position (`if err := endLevel(...)`) which the source-order scan cannot credit as an End
 			_, lvlSpan = obs.StartSpan(ctx, "core.identify.level")
 			lvlSpan.SetInt("level", int64(lv))
 			curLevel = lv

@@ -591,6 +591,7 @@ func (e *engine) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	j.cancelWant = true
 	switch j.state {
 	case StateQueued:
+		//lint:allow heldcall j.mu held across the append on purpose: check-journal-finish must be atomic or a worker can dequeue the job mid-cancellation
 		if jerr := e.journalState(ctx, j.id, StateCancelled, "cancelled while queued", j.attempts); jerr != nil {
 			j.mu.Unlock()
 			e.metrics.Counter("serve.journal_errors").Inc()
@@ -746,6 +747,7 @@ func (e *engine) CompleteStolen(ctx context.Context, id string, final State, err
 		return fmt.Errorf("%w: job %s is on attempt %d, result reports attempt %d",
 			ErrStaleAttempt, id, j.attempts, attempt)
 	}
+	//lint:allow heldcall j.mu covers fence check + append + state change (the comment above); releasing for the fsync would reopen the RequeueStolen race
 	if jerr := e.journalStateNode(ctx, id, final, errMsg, attempt, node); jerr != nil {
 		e.metrics.Counter("serve.journal_errors").Inc()
 		return fmt.Errorf("serve: journal steal result: %w", jerr)
@@ -1086,6 +1088,17 @@ func (e *engine) Shutdown(ctx context.Context) error {
 		if j.state.Terminal() {
 			j.mu.Unlock()
 			continue
+		}
+		// Journal the cancellation before it becomes observable —
+		// Cancel's discipline, found missing here by journalgate:
+		// without the record, a crash after this drain re-queues (and
+		// re-runs) jobs whose submitters were already told "cancelled".
+		// Unlike Cancel we proceed on journal failure: the server is
+		// going away either way, and a loud error beats wedging
+		// shutdown on a failing disk.
+		if jerr := e.journalState(ctx, j.id, StateCancelled, "server shutting down", j.attempts); jerr != nil {
+			e.metrics.Counter("serve.journal_errors").Inc()
+			e.logger.Error("journal shutdown cancellation", "job", j.id, "err", jerr)
 		}
 		j.finishLocked(StateCancelled, "server shutting down")
 		j.mu.Unlock()

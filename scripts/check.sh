@@ -16,8 +16,19 @@ echo "== remedylint (make lint)"
 # determinism, ctxfirst, errdiscard, and obspair over the whole module.
 # Sanctioned exceptions (remedyctl's blank net/http/pprof import for
 # the opt-in -pprof server, say) are waived inline with //lint:allow
-# comments; grandfathered debt lives in .remedylint-baseline.json.
+# comments; the baseline file is empty and must stay that way.
 go run ./cmd/remedylint ./...
+
+echo "== remedylint: interprocedural concurrency/durability analyzers"
+# The call-graph-backed analyzers gate the repo's concurrency and
+# durability contracts directly: lockorder (no lock-acquisition
+# cycles — the applyMu/mu inversion class), heldcall (no blocking
+# round-trip/fsync/unbuffered-send while a mutex is held, unless
+# waived with the design reason inline), goroleak (every goroutine
+# has a cancellation path), journalgate (every job state transition
+# in serve/cluster journals before acknowledging — the PR 5
+# contract). Any new finding from these fails the gate.
+go run ./cmd/remedylint -analyzers lockorder,heldcall,goroleak,journalgate ./...
 
 echo "== obs: vet + race (make obs-check)"
 go vet ./internal/obs/...
