@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-graph lint-report panicgate baseline obs-check serve-check durable-check cluster-check obs-fleet-check load-check bench fuzz
+.PHONY: all build vet test race check lint lint-graph lint-report panicgate baseline obs-check serve-check durable-check cluster-check chaos-check obs-fleet-check load-check bench fuzz
 
 all: check
 
@@ -89,6 +89,20 @@ cluster-check:
 	$(GO) test -race -count=1 ./internal/cluster/
 	$(GO) test -race -count=1 -run 'Cluster' ./cmd/remedyd/
 
+# chaos-check gates the fault-injection suite under the race
+# detector: the in-process kill-switch chaos tests (leader killed
+# mid-append) plus the network-fault layer's tests — deterministic
+# drop/dup/delay/partition schedules, symmetric partition → heal →
+# byte-identical journals, asymmetric partition during a steal,
+# compaction racing replication, and the headline live-rejoin test (a
+# deposed node behind the compaction horizon rejoins through a lossy
+# link via snapshot install, no restart, fleet IBS byte-identical to a
+# single-node run).
+chaos-check:
+	$(GO) test -race -count=1 ./internal/faults/
+	$(GO) test -race -count=1 -run 'Chaos|Deposed|NetFaults' \
+	    ./internal/cluster/ ./internal/serve/
+
 # obs-fleet-check gates fleet observability: a three-node fleet steals
 # a job and the test asserts the leader's stitched trace carries spans
 # from every participating node ID under a deterministic trace ID, and
@@ -121,5 +135,5 @@ fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzJournalReplay -fuzztime 30s
 
-check: build vet lint obs-check serve-check durable-check cluster-check obs-fleet-check load-check race
+check: build vet lint obs-check serve-check durable-check cluster-check chaos-check obs-fleet-check load-check race
 	@echo "all checks passed"

@@ -287,14 +287,22 @@ func runStatus(ctx context.Context, baseURL string, seed int64) error {
 	fmt.Printf("fleet: %d node(s), leader %s, term %d\n", len(fo.Nodes), orDash(fo.Leader), fo.Term)
 
 	nodes := &experiments.Table{
-		Columns: []string{"Node", "Role", "Term", "Lag", "Queued", "Running", "Done", "Failed", "Cancelled", "Stolen"},
+		Columns: []string{"Node", "Role", "Term", "Lag", "Queued", "Running", "Done", "Failed", "Cancelled", "Stolen", "SnapAge", "WAL kB"},
 	}
 	for _, n := range fo.Nodes {
 		if n.Err != "" {
 			nodes.Rows = append(nodes.Rows, []string{
-				orDash(n.NodeID), "unreachable", "-", "-", "-", "-", "-", "-", "-", "-",
+				orDash(n.NodeID), "unreachable", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-",
 			})
 			continue
+		}
+		// SnapAge counts records appended since the node's last snapshot
+		// horizon (its pending compaction debt); WAL kB is the journal
+		// file's current size. Both come from the node's own health.
+		snapAge, walKB := "-", "-"
+		if st := n.Health.Store; st != nil {
+			snapAge = fmt.Sprint(st.AgeRecords)
+			walKB = fmt.Sprintf("%.1f", float64(st.JournalBytes)/1024)
 		}
 		c := n.Metrics.Counters
 		nodes.Rows = append(nodes.Rows, []string{
@@ -302,6 +310,7 @@ func runStatus(ctx context.Context, baseURL string, seed int64) error {
 			fmt.Sprint(n.Health.Queued), fmt.Sprint(n.Health.Running),
 			fmt.Sprint(c["serve.jobs_done"]), fmt.Sprint(c["serve.jobs_failed"]),
 			fmt.Sprint(c["serve.jobs_cancelled"]), fmt.Sprint(c["serve.jobs_stolen"]),
+			snapAge, walKB,
 		})
 	}
 	if err := nodes.Render(os.Stdout); err != nil {

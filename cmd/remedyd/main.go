@@ -30,7 +30,11 @@
 // queryable, and interrupted jobs are re-queued (resuming identify
 // work from the last completed lattice level) until -max-attempts is
 // spent. -journal-sync trades append throughput for power-loss
-// durability.
+// durability. -snapshot-every bounds the journal: once that many
+// records accumulate, the reduced state is frozen into an atomic
+// content-addressed snapshot and (with -compact, the default) the
+// folded prefix is truncated, so recovery time and disk stay
+// proportional to the live tail, not the server's lifetime.
 //
 // With -node-id and -peers the server joins a replicated fleet
 // (requires -data-dir): the leader streams its journal to followers,
@@ -177,6 +181,8 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 		dataDir      = fs.String("data-dir", "", "durability directory: journal job state and spill datasets here, recover on restart (empty = in-memory only)")
 		journalSync  = fs.Bool("journal-sync", false, "fsync the job journal after every append (slower, survives power loss)")
+		snapEvery    = fs.Uint64("snapshot-every", 0, "write a snapshot once this many records accumulate past the last horizon (0 disables snapshots)")
+		compact      = fs.Bool("compact", true, "truncate the journal prefix a snapshot has folded (with -snapshot-every); false keeps the full log and uses snapshots only to speed recovery")
 		maxAttempts  = fs.Int("max-attempts", 3, "run budget per job across restarts; an interrupted job past it is marked failed")
 		nodeID       = fs.String("node-id", "", "this node's ID in a replicated fleet (requires -peers and -data-dir)")
 		peersFlag    = fs.String("peers", "", "fleet roster as id=url,id=url — must include this node's own entry")
@@ -241,6 +247,10 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	}
 	var srv *serve.Server
 	var node *cluster.Node
+	// compactStore drives the standalone compaction ticker: only a
+	// durable single-node server needs one (fleet members compact from
+	// their cluster tick).
+	var compactStore *durable.Store
 	if *dataDir != "" {
 		store, serr := durable.Open(ctx, *dataDir, *journalSync)
 		if serr != nil {
@@ -251,6 +261,10 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 				lg.Error("data dir close failed", "err", cerr)
 			}
 		}()
+		if *snapEvery > 0 {
+			store.SetCompaction(durable.CompactionPolicy{Every: *snapEvery, Truncate: *compact})
+			lg.Info("compaction enabled", "snapshot-every", *snapEvery, "truncate", *compact)
+		}
 		if *nodeID != "" {
 			// Fleet member: start as a standby follower (no job
 			// re-queueing; the fleet's leader owns the queue) and let the
@@ -276,6 +290,9 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 			srv, serr = serve.NewDurable(ctx, cfg, store)
 			if serr != nil {
 				return fmt.Errorf("recover from %s: %w", *dataDir, serr)
+			}
+			if *snapEvery > 0 {
+				compactStore = store
 			}
 		}
 		lg.Info("durability enabled", "data-dir", *dataDir,
@@ -313,7 +330,8 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 	// steals work when idle. Stops with ctx so shutdown sees no new
 	// ticks.
 	tickDone := make(chan struct{})
-	if node != nil {
+	switch {
+	case node != nil:
 		go func() {
 			defer close(tickDone)
 			tk := time.NewTicker(*tick)
@@ -327,7 +345,25 @@ func run(ctx context.Context, argv []string, errw io.Writer) error {
 				}
 			}
 		}()
-	} else {
+	case compactStore != nil:
+		// Standalone durable server: the same cadence the cluster tick
+		// gives fleet members, but only the compaction check.
+		go func() {
+			defer close(tickDone)
+			tk := time.NewTicker(*tick)
+			defer tk.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tk.C:
+					if _, cerr := compactStore.MaybeCompact(obs.WithLogger(ctx, lg)); cerr != nil {
+						lg.Error("compaction failed", "err", cerr)
+					}
+				}
+			}
+		}()
+	default:
 		close(tickDone)
 	}
 

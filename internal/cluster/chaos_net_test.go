@@ -1,0 +1,590 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// This file is the network-fault chaos suite: fleets wired through
+// faults.NetFaults, the deterministic lossy network, proving the
+// cluster's partition/heal/rejoin claims hold when the wire itself —
+// not just a single injection point — misbehaves.
+
+// netFleet builds a fleet whose inter-node traffic (replication,
+// steals, dataset pushes, forwarding) all flows through nf. The
+// test's own clients talk to each node directly, like an external
+// caller outside the faulty network.
+func netFleet(t *testing.T, ids []string, nf *faults.NetFaults, mutate func(id string, scfg *serve.Config, ccfg *Config)) map[string]*testNode {
+	t.Helper()
+	return fleet(t, ids, func(id string, scfg *serve.Config, ccfg *Config) {
+		hosts := make(map[string]string, len(ccfg.Peers))
+		for pid, u := range ccfg.Peers {
+			hosts[strings.TrimPrefix(u, "http://")] = pid
+		}
+		ccfg.HTTP = nf.Client(id, hosts, nil)
+		// Fast retries and no breaker: partition tests drive many
+		// failed sends and must not sleep out production backoffs.
+		ccfg.Retry = serve.RetryPolicy{
+			MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+			BreakerThreshold: -1,
+		}
+		if mutate != nil {
+			mutate(id, scfg, ccfg)
+		}
+	})
+}
+
+// spreadDataset makes sure every node holds the dataset locally, so a
+// later partition cannot turn a fetch-on-miss into a test artifact.
+func spreadDataset(t *testing.T, ctx context.Context, nodes map[string]*testNode, id string) {
+	t.Helper()
+	for _, n := range nodes {
+		if _, err := n.srv.Registry().Get(id); err == nil {
+			continue
+		}
+		if err := n.node.fetchDataset(ctx, id); err != nil {
+			t.Fatalf("%s fetch dataset: %v", n.id, err)
+		}
+	}
+}
+
+// TestChaosNetSymmetricPartitionHealsByteIdentical isolates one
+// follower behind a symmetric partition while the leader keeps
+// serving, then heals the link and proves replication converges the
+// isolated node to a byte-identical journal — the partition cost it
+// nothing but latency.
+func TestChaosNetSymmetricPartitionHealsByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	nf := faults.NewNetFaults(stats.NewRNG(11))
+	nodes := netFleet(t, []string{"node-a", "node-b", "node-c"}, nf, nil)
+	a, b, c := nodes["node-a"], nodes["node-b"], nodes["node-c"]
+
+	info := uploadCompas(t, a.client, 400, 3)
+	spreadDataset(t, ctx, nodes, info.ID)
+	syncFleet(t, ctx, a, b, c)
+
+	// node-c drops off the network entirely (both directions, both
+	// peers) while the leader keeps accepting and replicating work.
+	nf.Partition("node-a", "node-c")
+	nf.Partition("node-b", "node-c")
+
+	st, err := a.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.1, MinSize: 20,
+		IdempotencyKey: "partition-job",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = a.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job during partition: %+v, %v", st, err)
+	}
+	behind := c.store.Journal().Sequence()
+	for i := 0; i < 3; i++ {
+		a.node.Tick(ctx)
+	}
+	if got := c.store.Journal().Sequence(); got != behind {
+		t.Fatalf("partitioned node's journal advanced %d→%d", behind, got)
+	}
+	if dropped := nf.CountsFor("node-a", "node-c").Dropped; dropped == 0 {
+		t.Fatal("the partition dropped nothing; the fault layer is not wired in")
+	}
+
+	// Heal. The same replication stream that was being blackholed now
+	// backfills node-c to the tip.
+	nf.Heal("node-a", "node-c")
+	nf.Heal("node-b", "node-c")
+	syncFleet(t, ctx, a, b, c)
+
+	want, err := os.ReadFile(a.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*testNode{b, c} {
+		got, err := os.ReadFile(f.store.Journal().Path())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s journal differs from leader's after heal (%d vs %d bytes)", f.id, len(got), len(want))
+		}
+	}
+	if role, term, leader := c.node.Role(); role != RoleFollower || term != 1 || leader != "node-a" {
+		t.Fatalf("healed node-c = %s term %d leader %s, want follower/1/node-a", role, term, leader)
+	}
+}
+
+// TestChaosNetAsymmetricPartitionDuringSteal breaks only the
+// follower→leader direction while a steal is due: heartbeats keep
+// flowing (so the follower never promotes), but the follower's steal
+// requests die in flight. The job completes on the leader anyway, and
+// once the link heals the follower's next steal goes through.
+func TestChaosNetAsymmetricPartitionDuringSteal(t *testing.T) {
+	ctx := context.Background()
+	nf := faults.NewNetFaults(stats.NewRNG(13))
+	nodes := netFleet(t, []string{"node-a", "node-b"}, nf, func(id string, scfg *serve.Config, ccfg *Config) {
+		scfg.Workers = 1
+		ccfg.StealMax = 1
+	})
+	a, b := nodes["node-a"], nodes["node-b"]
+
+	info := uploadCompas(t, a.client, 400, 3)
+	spreadDataset(t, ctx, nodes, info.ID)
+	syncFleet(t, ctx, a, b)
+
+	// Wedge the leader's single worker on the first job so the second
+	// sits queued and stealable.
+	var wedged atomic.Bool
+	wedged.Store(true)
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	faults.Set(faults.ServeJob, func(any) error {
+		if wedged.CompareAndSwap(true, false) {
+			close(stalled)
+			<-release
+		}
+		return nil
+	})
+	t.Cleanup(func() {
+		faults.Clear(faults.ServeJob)
+		releaseOnce.Do(func() { close(release) })
+	})
+
+	first, err := a.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.1, MinSize: 20, IdempotencyKey: "wedge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stalled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader worker never picked the wedge job up")
+	}
+	queued, err := a.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.2, MinSize: 20, IdempotencyKey: "stealable",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The asymmetric break: node-b cannot reach node-a, but node-a's
+	// heartbeats still reach node-b.
+	nf.PartitionOneWay("node-b", "node-a")
+	a.node.Tick(ctx) // heartbeat resets b's lease clock
+	b.node.Tick(ctx) // b tries to steal; the request dies in flight
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.steals"]; got != 0 {
+		t.Fatalf("steals through a dead b→a link = %d, want 0", got)
+	}
+	if dropped := nf.CountsFor("node-b", "node-a").Dropped; dropped == 0 {
+		t.Fatal("b→a steal traffic was not dropped")
+	}
+	if role, _, _ := b.node.Role(); role != RoleFollower {
+		t.Fatalf("node-b = %s during one-way break, want follower (heartbeats still arrive)", role)
+	}
+
+	// Heal the direction. The next tick's steal goes through, the
+	// stolen job runs on node-b, and the result lands back on the
+	// leader.
+	nf.Heal("node-b", "node-a")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a.node.Tick(ctx)
+		b.node.Tick(ctx)
+		if b.srv.Metrics().Snapshot().Counters["cluster.steals"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node-b never stole the queued job after heal")
+		}
+	}
+	got, err := a.client.Wait(ctx, queued.ID, 5*time.Millisecond)
+	if err != nil || got.State != serve.StateDone {
+		t.Fatalf("stolen job after heal: %+v, %v", got, err)
+	}
+
+	// Unwedge and drain the first job too.
+	releaseOnce.Do(func() { close(release) })
+	if got, err = a.client.Wait(ctx, first.ID, 5*time.Millisecond); err != nil || got.State != serve.StateDone {
+		t.Fatalf("wedged job: %+v, %v", got, err)
+	}
+}
+
+// TestChaosCompactionRacesReplication compacts the leader's journal
+// past a live follower's replication position: the frames the
+// follower still needs stop existing mid-stream. The leader must
+// switch that follower to the install-snapshot path and converge it
+// to the tip, with the follower applying strictly fewer records than
+// the log holds.
+func TestChaosCompactionRacesReplication(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b"}, nil)
+	a, b := nodes["node-a"], nodes["node-b"]
+
+	info := uploadCompas(t, a.client, 400, 3)
+	syncFleet(t, ctx, a, b)
+	applied0 := b.srv.Metrics().Snapshot().Counters["cluster.records_applied"]
+
+	// Grow the log without ticking: node-b's position falls behind.
+	for i := 0; i < 3; i++ {
+		st, err := a.client.SubmitJob(ctx, serve.JobRequest{
+			Kind: "identify", DatasetID: info.ID, TauC: 0.1 * float64(i+1), MinSize: 20,
+			IdempotencyKey: fmt.Sprintf("race-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = a.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+			t.Fatalf("job %d: %+v, %v", i, st, err)
+		}
+	}
+
+	// The race, made deterministic: compaction wins before the next
+	// replication tick reads the journal.
+	upTo := a.store.Journal().Sequence()
+	if err := a.store.Compact(ctx, upTo, true); err != nil {
+		t.Fatal(err)
+	}
+	if base := a.store.Journal().Base(); base != upTo {
+		t.Fatalf("leader base = %d after compaction, want %d", base, upTo)
+	}
+
+	// The follower's acked position is now below the base; ticking the
+	// leader must install the snapshot, not fail the backfill read.
+	deadline := time.Now().Add(10 * time.Second)
+	for b.store.Journal().Sequence() != a.store.Journal().Sequence() {
+		a.node.Tick(ctx)
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %d, leader at %d", b.store.Journal().Sequence(), a.store.Journal().Sequence())
+		}
+	}
+	if got := b.srv.Metrics().Snapshot().Counters["cluster.snapshot_installs"]; got < 1 {
+		t.Fatalf("snapshot installs on node-b = %d, want >= 1", got)
+	}
+	if got := b.store.Journal().Base(); got != upTo {
+		t.Fatalf("follower base = %d after install, want %d", got, upTo)
+	}
+
+	// Catching up via the snapshot applied strictly fewer records than
+	// the log holds — that is the point of installing it.
+	applied := b.srv.Metrics().Snapshot().Counters["cluster.records_applied"] - applied0
+	if total := a.store.Journal().Sequence(); uint64(applied) >= total {
+		t.Fatalf("follower applied %v records of a %d-record log; snapshot install saved nothing", applied, total)
+	}
+
+	// Both journal files are now the compacted form with the same base
+	// and the same (empty-or-tail) frames: byte-identical.
+	want, err := os.ReadFile(a.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(b.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("journals differ after install (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Replication keeps flowing after the install: new work lands on
+	// the follower as ordinary frames.
+	st, err := a.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.5, MinSize: 20, IdempotencyKey: "post-install",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = a.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("post-install job: %+v, %v", st, err)
+	}
+	syncFleet(t, ctx, a, b)
+	if bseq, aseq := b.store.Journal().Sequence(), a.store.Journal().Sequence(); bseq != aseq {
+		t.Fatalf("post-install replication stalled: follower %d, leader %d", bseq, aseq)
+	}
+}
+
+// TestDeposedReadyzReportsRejoiningAndProbeGuardsTerm pins the
+// deposed surface: readiness names the rejoining state and the target
+// term, the journal fence refuses originated appends, and the rejoin
+// probe refuses any leader of a lower term — then accepts the real
+// one.
+func TestDeposedReadyzReportsRejoiningAndProbeGuardsTerm(t *testing.T) {
+	ctx := context.Background()
+	nodes := fleet(t, []string{"node-a", "node-b", "node-c"}, nil)
+	a, c := nodes["node-a"], nodes["node-c"]
+	syncFleet(t, ctx, a, nodes["node-b"], c)
+
+	// Depose node-c at a term far above the fleet's: no live leader
+	// can satisfy the probe, so the node must stay deposed.
+	c.node.depose(99, "", "injected: term fence test")
+	if ready, reason := c.srv.Readiness(); ready ||
+		!strings.Contains(reason, "rejoining") || !strings.Contains(reason, "term 99") {
+		t.Fatalf("deposed readiness = %v %q, want not-ready rejoining at term 99", ready, reason)
+	}
+	if err := c.store.Journal().Append(ctx, durable.Record{Type: durable.RecState, JobID: "x", State: "failed"}); !errors.Is(err, durable.ErrJournalFenced) {
+		t.Fatalf("originated append on a deposed node = %v, want ErrJournalFenced", err)
+	}
+	c.node.Tick(ctx)
+	if role, _, _ := c.node.Role(); role != RoleDeposed {
+		t.Fatalf("node-c rejoined a term-1 fleet while deposed at term 99 (role %s)", role)
+	}
+
+	// A second fleet member deposed at the fleet's actual term rejoins
+	// on its first probe tick.
+	b := nodes["node-b"]
+	b.node.depose(1, "node-a", "injected: rejoin test")
+	b.node.Tick(ctx)
+	if role, term, leader := b.node.Role(); role != RoleFollower || term != 1 || leader != "node-a" {
+		t.Fatalf("node-b after probe = %s term %d leader %s, want follower/1/node-a", role, term, leader)
+	}
+	if err := b.store.Journal().Append(ctx, durable.Record{Type: durable.RecState, JobID: "x", State: "failed"}); !errors.Is(err, durable.ErrJournalFenced) {
+		t.Fatalf("rejoined follower's originated append = %v, want ErrJournalFenced (fence holds until promotion)", err)
+	}
+}
+
+// TestChaosNetDeposedNodeRejoinsThroughFlakyLinkViaSnapshot is the
+// headline rejoin test. The fleet's original leader is partitioned
+// away mid-leadership with an unreplicated tail; the fleet elects a
+// successor, runs new work, and compacts its journal past the old
+// leader's position. The partition then heals to a lossy link (drops
+// and duplicates), through which the old leader must — without any
+// restart — be deposed, demote its live engine, rejoin as a follower,
+// have its forked tail truncated, catch up via snapshot install
+// (applying strictly fewer records than the log holds), and end with
+// a journal byte-identical to the new leader's. The fleet's answer
+// stays byte-identical to an uninterrupted single-node run.
+func TestChaosNetDeposedNodeRejoinsThroughFlakyLinkViaSnapshot(t *testing.T) {
+	ctx := context.Background()
+	baseGoroutines := runtime.NumGoroutine()
+	t.Cleanup(func() { assertNoGoroutineLeak(t, baseGoroutines) })
+
+	headline := serve.JobRequest{Kind: "identify", TauC: 0.1, MinSize: 20, IdempotencyKey: "flaky-headline"}
+
+	// Baseline: the headline job on one uninterrupted durable node.
+	var baseRaw json.RawMessage
+	var baseID string
+	{
+		store, err := durable.Open(ctx, t.TempDir(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.NewDurable(ctx, serve.Config{Workers: 1, QueueDepth: 8}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				t.Errorf("baseline shutdown: %v", err)
+			}
+			hs.Close()
+			if err := store.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+		cl := serve.NewClient(hs.URL)
+		info := uploadCompas(t, cl, 800, 5)
+		baseID = info.ID
+		headline.DatasetID = info.ID
+		st, err := cl.SubmitJob(ctx, headline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = cl.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+			t.Fatalf("baseline job: %+v, %v", st, err)
+		}
+		if err := cl.Result(ctx, st.ID, &baseRaw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nf := faults.NewNetFaults(stats.NewRNG(17))
+	nodes := netFleet(t, []string{"node-a", "node-b", "node-c"}, nf, nil)
+	a, b, c := nodes["node-a"], nodes["node-b"], nodes["node-c"]
+
+	info := uploadCompas(t, a.client, 800, 5)
+	if info.ID != baseID {
+		t.Fatalf("content-addressed IDs diverged: fleet %s, baseline %s", info.ID, baseID)
+	}
+	spreadDataset(t, ctx, nodes, info.ID)
+	syncFleet(t, ctx, a, b, c)
+
+	// node-a (leader, term 1) is cut off from both peers, then keeps
+	// serving into the void: the job below lands only on its own
+	// journal — the classic unreplicated tail.
+	nf.Partition("node-a", "node-b")
+	nf.Partition("node-a", "node-c")
+	orphan, err := a.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.3, MinSize: 30, IdempotencyKey: "orphaned-on-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := a.client.Wait(ctx, orphan.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("orphaned job on old leader: %+v, %v", st, err)
+	}
+	a.node.Tick(ctx) // its replication attempts all drop
+	if nf.CountsFor("node-a", "node-b").Dropped == 0 {
+		t.Fatal("old leader's sends were not dropped")
+	}
+	forkSeq := a.store.Journal().Sequence()
+
+	// node-b promotes after node-a's silence (rank 0: one lease = 2
+	// ticks; the third tick moves).
+	for i := 0; i < 3; i++ {
+		b.node.Tick(ctx)
+	}
+	if role, term, _ := b.node.Role(); role != RoleLeader || term != 2 {
+		t.Fatalf("node-b = %s term %d, want leader/2", role, term)
+	}
+
+	// The new leadership does real work — including the headline job —
+	// then compacts its journal past node-a's position.
+	b.store.SetCompaction(durable.CompactionPolicy{Every: 4, Truncate: true})
+	st, err := b.client.SubmitJob(ctx, headline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = b.client.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("headline job on new leader: %+v, %v", st, err)
+	}
+	b.node.Tick(ctx) // replicates to node-c, then compacts
+	base := b.store.Journal().Base()
+	if base == 0 {
+		t.Fatal("new leader never compacted")
+	}
+	if base <= forkSeq-1 {
+		// The horizon must strictly cover node-a's position for the
+		// catch-up to require the snapshot path.
+		t.Fatalf("compaction horizon %d does not pass the old leader's position %d", base, forkSeq)
+	}
+	// Freeze the horizon here: the next job's records must remain in
+	// the log as the tail the rejoined node replays after the install.
+	b.store.SetCompaction(durable.CompactionPolicy{})
+
+	// One more job after the horizon, so catching up needs snapshot
+	// AND tail — and so records_applied has a tail to count.
+	st2, err := b.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.2, MinSize: 25, IdempotencyKey: "post-compaction",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, err = b.client.Wait(ctx, st2.ID, 5*time.Millisecond); err != nil || st2.State != serve.StateDone {
+		t.Fatalf("post-compaction job: %+v, %v", st2, err)
+	}
+
+	// Heal to a flaky link: drops and duplicates both ways between the
+	// old leader and the fleet. Everything that follows — deposition,
+	// engine demotion, fork truncation, snapshot install, tail catch-up
+	// — must happen through this wire.
+	nf.SetRule("node-a", "node-b", faults.Rule{Drop: 0.3, Dup: 0.2})
+	nf.SetRule("node-b", "node-a", faults.Rule{Drop: 0.3, Dup: 0.2})
+	nf.Heal("node-a", "node-c")
+
+	deadline := time.Now().Add(15 * time.Second)
+	for a.store.Journal().Sequence() != b.store.Journal().Sequence() ||
+		func() bool { r, _, _ := a.node.Role(); return r != RoleFollower }() {
+		b.node.Tick(ctx)
+		if role, _, _ := a.node.Role(); role == RoleDeposed {
+			// The deposed node's own probe also fights through the
+			// flaky link; whichever side wins, the rejoin is live.
+			a.node.Tick(ctx)
+		}
+		if time.Now().After(deadline) {
+			role, term, leader := a.node.Role()
+			t.Fatalf("old leader never converged: role %s term %d leader %s, seq %d vs %d",
+				role, term, leader, a.store.Journal().Sequence(), b.store.Journal().Sequence())
+		}
+	}
+
+	// The node rejoined live: follower of node-b at term 2, engine
+	// demoted (the orphaned job is gone — its records sat on the
+	// truncated fork), journal reset to the leader's horizon.
+	if role, term, leader := a.node.Role(); role != RoleFollower || term != 2 || leader != "node-b" {
+		t.Fatalf("node-a = %s term %d leader %s, want follower/2/node-b", role, term, leader)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.rejoins"]; got < 1 {
+		t.Fatalf("rejoins on node-a = %v, want >= 1", got)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.snapshot_installs"]; got < 1 {
+		t.Fatalf("snapshot installs on node-a = %v, want >= 1", got)
+	}
+	if got := a.store.Journal().Base(); got != base {
+		t.Fatalf("node-a base = %d after install, want the leader's horizon %d", got, base)
+	}
+
+	// Catch-up cost: node-a applied only the post-horizon tail, never
+	// the full log. (Its pre-partition life was as the originating
+	// leader, so every applied record it has came through the rejoin.)
+	applied := a.srv.Metrics().Snapshot().Counters["cluster.records_applied"]
+	if total := b.store.Journal().Sequence(); uint64(applied) >= total {
+		t.Fatalf("rejoined node applied %v of %d records; snapshot install saved nothing", applied, total)
+	}
+
+	// Byte-identity, twice over. The journals: node-a's install+tail
+	// file equals the leader's compacted file exactly. The answer: the
+	// headline IBS equals the uninterrupted single-node run, fetched
+	// both from the leader and through the rejoined follower's
+	// forwarding.
+	want, err := os.ReadFile(b.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(a.store.Journal().Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rejoined journal differs from leader's (%d vs %d bytes)", len(got), len(want))
+	}
+	var fleetRaw json.RawMessage
+	if err := b.client.Result(ctx, st.ID, &fleetRaw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseRaw, fleetRaw) {
+		t.Fatalf("fleet IBS differs from single-node run:\n fleet:    %s\n baseline: %s", fleetRaw, baseRaw)
+	}
+	nf.HealAll()
+	var fwdRaw json.RawMessage
+	if err := a.client.Result(ctx, st.ID, &fwdRaw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseRaw, fwdRaw) {
+		t.Fatal("result through the rejoined follower differs from the baseline")
+	}
+
+	// The orphaned job died with the truncated fork: resubmitting its
+	// exact request finds nothing to dedup onto — the fleet has no
+	// memory of work that was never replicated — and starts fresh.
+	resub, err := b.client.SubmitJob(ctx, serve.JobRequest{
+		Kind: "identify", DatasetID: info.ID, TauC: 0.3, MinSize: 30, IdempotencyKey: "orphaned-on-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resub.State == serve.StateDone {
+		t.Fatal("resubmitted fork job deduped onto a completed run; the orphaned fork survived the rejoin")
+	}
+	if st, err := b.client.Wait(ctx, resub.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("resubmitted fork job: %+v, %v", st, err)
+	}
+}

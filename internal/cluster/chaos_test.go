@@ -173,16 +173,25 @@ func TestChaosLeaderKilledMidIdentifyFailsOver(t *testing.T) {
 	}
 
 	// New-leader heartbeats teach node-c the new term and depose
-	// node-a on contact (the partition blocks a's sends, not b's).
+	// node-a on contact (the partition blocks a's sends, not b's). The
+	// retrying client's next delivery then rejoins the deposed node
+	// inline: node-a comes back live as node-b's follower, demoted
+	// engine, fenced journal, no restart.
 	b.node.Tick(ctx)
 	if _, term, leader := c.node.Role(); term != 2 || leader != "node-b" {
 		t.Fatalf("node-c sees term %d leader %s, want 2/node-b", term, leader)
 	}
-	if role, _, _ := a.node.Role(); role != RoleDeposed {
-		t.Fatalf("node-a role = %s, want deposed", role)
+	if role, term, leader := a.node.Role(); role != RoleFollower || term != 2 || leader != "node-b" {
+		t.Fatalf("node-a = %s term %d leader %s, want follower/2/node-b (deposed then rejoined)", role, term, leader)
 	}
-	if ready, reason := a.srv.Readiness(); ready || !strings.Contains(reason, "deposed") {
-		t.Fatalf("old leader readiness = %v %q, want not-ready deposed", ready, reason)
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.stepdowns"]; got != 1 {
+		t.Fatalf("stepdowns on node-a = %d, want 1", got)
+	}
+	if got := a.srv.Metrics().Snapshot().Counters["cluster.rejoins"]; got != 1 {
+		t.Fatalf("rejoins on node-a = %d, want 1", got)
+	}
+	if ready, reason := a.srv.Readiness(); ready || !strings.Contains(reason, "follower of node-b") {
+		t.Fatalf("old leader readiness = %v %q, want not-ready follower", ready, reason)
 	}
 
 	// Exactly-once, client-visible: resubmitting the same request —
@@ -211,16 +220,17 @@ func TestChaosLeaderKilledMidIdentifyFailsOver(t *testing.T) {
 		t.Fatalf("journal holds %d done records for the job, want exactly 1", doneRecs)
 	}
 
-	// Heal the partition. The deposed leader stays deposed — its tick
-	// is a no-op and it never contests term 2.
+	// Heal the partition. The rejoined follower stays a follower — it
+	// never contests term 2, and its tick is an ordinary lease count.
 	faults.Clear(faults.ClusterReplicate)
 	a.node.Tick(ctx)
-	if role, _, _ := a.node.Role(); role != RoleDeposed {
-		t.Fatal("healed old leader revived itself")
+	if role, term, leader := a.node.Role(); role != RoleFollower || term != 2 || leader != "node-b" {
+		t.Fatalf("healed old leader = %s term %d leader %s, want follower/2/node-b", role, term, leader)
 	}
 
 	// Release the kill switch: node-a's stalled worker gets its append
-	// failure and fails the job locally — on a fenced, deposed node,
-	// where it can do no harm — letting shutdown drain cleanly.
+	// failure and fails the job locally — on a fenced, freshly-demoted
+	// node, where it can never be acked — letting shutdown drain
+	// cleanly.
 	releaseOnce.Do(func() { close(release) })
 }

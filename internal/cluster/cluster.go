@@ -21,8 +21,10 @@
 // sender's term; a receiver that has witnessed a higher term rejects
 // the request, and a leader whose send is rejected steps down. Terms
 // make split-brain harmless rather than impossible: a superseded
-// leader is deposed on contact and reports not-ready until a restart
-// rejoins it as a follower.
+// leader is deposed on contact, fences its journal so it can never
+// ack another write, and rejoins the fleet live: a later tick probes
+// the current leader, the engine demotes, and the node re-enters as
+// a follower of the higher term — no restart required.
 //
 // Forks are reconciled structurally. Every fork begins at a
 // leadership change — only leaders append original records, so two
@@ -63,7 +65,9 @@ import (
 )
 
 // Node roles. A node is a follower from birth until it promotes;
-// deposed is terminal until the process restarts.
+// deposed is a quarantine, not a grave: the journal is fenced and the
+// engine idles until tickDeposed (or an inbound replication at a
+// current term) rejoins the node as a follower.
 const (
 	RoleLeader   = "leader"
 	RoleFollower = "follower"
@@ -215,12 +219,11 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 	}
 	n.baseCtx, n.cancel = context.WithCancel(context.Background())
 	n.term, n.leader = srv.RecoveredTerm()
-	starts, err := scanTermStarts(ctx, n.journal.Path())
-	if err != nil {
-		n.cancel()
-		return nil, fmt.Errorf("cluster: scan term history: %w", err)
-	}
-	n.termStarts = starts
+	// The serve layer's recovery already reduced the term history —
+	// snapshot entries plus the tail's RecTerm records, with absolute
+	// sequences — so the node seeds fork detection from that instead of
+	// re-scanning a journal whose compacted prefix no longer exists.
+	n.termStarts = srv.RecoveredTermStarts()
 	for id, u := range cfg.Peers {
 		if id == cfg.ID {
 			continue
@@ -249,30 +252,9 @@ func New(ctx context.Context, cfg Config, srv *serve.Server) (*Node, error) {
 // Term, appended by Leader at log position Seq. Replication requests
 // carry the leader's full history so followers can locate forks (see
 // the package comment); entries compare by value, all three fields.
-type termStart struct {
-	Term   uint64 `json:"term"`
-	Leader string `json:"leader"`
-	Seq    uint64 `json:"seq"`
-}
-
-// scanTermStarts reads the journal's term history from disk — called
-// once at New, after the serve layer's recovery has already cut any
-// torn tail, so the scan sees exactly the records Sequence counts.
-func scanTermStarts(ctx context.Context, path string) ([]termStart, error) {
-	var starts []termStart
-	var idx uint64
-	_, err := durable.ReplayJournal(ctx, path, func(rec durable.Record) error {
-		if rec.Type == durable.RecTerm {
-			starts = append(starts, termStart{Term: rec.Term, Leader: rec.Leader, Seq: idx})
-		}
-		idx++
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return starts, nil
-}
+// It is the durable layer's TermStart — the same type, not a mirror —
+// so a history reduced from a snapshot plugs straight in.
+type termStart = durable.TermStart
 
 // nodeIDs returns every fleet member's ID in sorted order — the
 // deterministic roster that election ranks and shard ownership hash
@@ -311,7 +293,8 @@ func (n *Node) LeaderURL() string {
 // promotes itself past its share of the lease, and otherwise tries to
 // steal queued work. Tick is not reentrant — one caller drives it,
 // from a timer loop (cmd/remedyd) or by hand (tests). A deposed node
-// ticks as a no-op: restart to rejoin.
+// ticks its rejoin probe: it looks for the fleet's current leader and
+// re-enters as a follower the moment it finds one.
 func (n *Node) Tick(ctx context.Context) {
 	ctx = obs.WithLogger(obs.WithMetrics(ctx, n.metrics), n.logger)
 	n.mu.Lock()
@@ -322,6 +305,8 @@ func (n *Node) Tick(ctx context.Context) {
 		n.tickLeader(ctx)
 	case RoleFollower:
 		n.tickFollower(ctx)
+	case RoleDeposed:
+		n.tickDeposed(ctx)
 	}
 }
 
@@ -335,6 +320,7 @@ func (n *Node) tickLeader(ctx context.Context) {
 	n.expireStolen(ctx)
 	n.pushDatasets(ctx)
 	n.replicateAll(ctx)
+	n.maybeCompact(ctx)
 }
 
 func (n *Node) tickFollower(ctx context.Context) {
@@ -352,10 +338,31 @@ func (n *Node) tickFollower(ctx context.Context) {
 		}
 		return
 	}
+	n.maybeCompact(ctx)
 	if n.cfg.StealMax < 0 || inflight >= n.cfg.StealMax || leader == "" || leader == n.cfg.ID {
 		return
 	}
 	n.trySteal(ctx, term, leader)
+}
+
+// maybeCompact runs the store's snapshot-compaction policy against
+// this node's own journal (a no-op until remedyd installs one via
+// -snapshot-every). Leaders and followers both compact: the rewrite
+// keeps every surviving frame at (sequence - base), so positional
+// replication is untouched, and a peer left behind the new horizon is
+// healed by the leader's install-snapshot path, not by keeping old
+// frames around forever.
+func (n *Node) maybeCompact(ctx context.Context) {
+	did, err := n.srv.Store().MaybeCompact(ctx)
+	if err != nil {
+		n.logger.Error("journal compaction failed", "err", err)
+		return
+	}
+	if did {
+		base := n.journal.Base()
+		n.events.Append("compaction", fmt.Sprintf("%s compacted its journal to horizon %d", n.cfg.ID, base))
+		n.logger.Info("journal compacted", "base", base)
+	}
 }
 
 // promotionThreshold is the silent-tick budget before this follower
@@ -403,6 +410,11 @@ func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, co
 	}
 	newTerm := n.term + 1
 	n.mu.Unlock()
+	// A node that was deposed and rejoined kept its journal fenced all
+	// the way through followership — AppendReplicated ignores the fence,
+	// so replication filled it anyway. Promotion is where originating
+	// writes become legitimate again.
+	n.journal.Unfence()
 	seq := n.journal.Sequence()
 	// applyMu (held for this whole function) intentionally covers the
 	// term-record fsync: the term record IS the fencing token, so no
@@ -437,17 +449,20 @@ func (n *Node) promote(ctx context.Context, expectTerm uint64, leader string, co
 	return nil
 }
 
-// depose retires this node from the stream permanently: a higher term
-// exists, or this node's log diverged from its leader's. Positional
-// replication cannot reconcile a forked suffix, so the node stops
-// participating and reports not-ready; a restart rejoins it through
-// follower recovery, which keeps only what the fleet replicated.
+// depose retires this node from the stream: a higher term exists, or
+// this node's log diverged from its leader's. The journal is fenced
+// first — before the role flips, before anything is logged — so a
+// stale leader mid-depose can never ack another originating write;
+// replicated appends still land, which is how the rejoin path heals
+// the log. The node then reports not-ready as rejoining: tickDeposed
+// probes for the fleet's current leader and re-enters live.
 func (n *Node) depose(term uint64, leader, why string) {
 	n.mu.Lock()
 	if n.role == RoleDeposed {
 		n.mu.Unlock()
 		return
 	}
+	n.journal.Fence()
 	n.role = RoleDeposed
 	if term > n.term {
 		n.term = term
@@ -455,11 +470,85 @@ func (n *Node) depose(term uint64, leader, why string) {
 	if leader != "" {
 		n.leader = leader
 	}
+	term = n.term
 	n.mu.Unlock()
 	n.metrics.Counter("cluster.stepdowns").Inc()
 	n.events.Append("deposed", fmt.Sprintf("%s deposed at term %d: %s", n.cfg.ID, term, why))
 	n.logger.Warn("deposed", "term", term, "why", why)
-	n.srv.SetNotReady(fmt.Sprintf("deposed (%s) at term %d; restart to rejoin the fleet", why, term))
+	n.srv.SetNotReady(fmt.Sprintf("deposed (%s); rejoining the fleet at term %d", why, term))
+}
+
+// tickDeposed is the deposed node's way back in: probe the fleet for
+// its current leader (GET /cluster/status, deterministic node-ID
+// order) and rejoin as that leader's follower. The probe is read-only
+// and fenced by nothing — a deposed node can always ask — so a node
+// cut off behind a partition keeps probing each tick until the link
+// heals, then rejoins on the first tick that reaches a leader.
+func (n *Node) tickDeposed(ctx context.Context) {
+	n.mu.Lock()
+	term := n.term
+	n.mu.Unlock()
+	for _, id := range sortedKeys(n.peers) {
+		p := n.peers[id]
+		var st Status
+		if err := p.client.DoJSON(ctx, http.MethodGet, "/cluster/status", nil, &st); err != nil {
+			n.logger.Debug("rejoin probe failed", "peer", id, "err", err)
+			continue
+		}
+		if st.Role != RoleLeader || st.Term < term {
+			continue
+		}
+		n.rejoin(ctx, st.Term, st.NodeID)
+		return
+	}
+}
+
+// rejoin re-enters the fleet as a follower of leader at term, without
+// a restart. The engine demotes first — every local job is dropped,
+// running work is cancelled, nothing is journaled (the fence holds
+// until a later promotion) — then the role flips under applyMu so no
+// replication interleaves with the transition. The next heartbeat
+// from the leader reconciles the journal: a forked suffix truncates
+// via the term history, and a node left behind the leader's
+// compaction horizon is healed by install-snapshot.
+func (n *Node) rejoin(ctx context.Context, term uint64, leader string) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.rejoinLocked(ctx, term, leader)
+}
+
+// rejoinLocked is rejoin's body for callers already holding applyMu
+// (applyReplicate rejoins inline when a current-term leader contacts a
+// deposed node directly).
+func (n *Node) rejoinLocked(ctx context.Context, term uint64, leader string) {
+	n.mu.Lock()
+	if n.role != RoleDeposed {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	// Demote outside n.mu (it takes the engine's locks) but inside
+	// applyMu: no replicated record may land between the engine
+	// forgetting its jobs and the role flip below.
+	n.srv.Demote(ctx)
+	n.mu.Lock()
+	if n.role != RoleDeposed {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleFollower
+	if term > n.term {
+		n.term = term
+	}
+	n.leader = leader
+	n.missed = 0
+	term = n.term
+	n.mu.Unlock()
+	n.metrics.Counter("cluster.rejoins").Inc()
+	n.metrics.Gauge("cluster.leader_term").Set(float64(term))
+	n.events.Append("rejoined", fmt.Sprintf("%s rejoined as follower of %s at term %d", n.cfg.ID, leader, term))
+	n.logger.Info("rejoined the fleet", "leader", leader, "term", term)
+	n.srv.SetNotReady(fmt.Sprintf("follower of %s at term %d; writes forward to the leader", leader, term))
 }
 
 // FollowerLag implements serve.FleetLag: on the leader, each known

@@ -20,6 +20,7 @@ import (
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
+	mux.HandleFunc("POST /cluster/snapshot", n.handleSnapshot)
 	mux.HandleFunc("POST /cluster/steal", n.handleSteal)
 	mux.HandleFunc("POST /cluster/steal/result", n.handleStealResult)
 	mux.HandleFunc("GET /cluster/datasets/{id}", n.handleDatasetGet)
@@ -49,6 +50,24 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, status, msg := n.applyReplicate(r.Context(), req)
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+		clusterJSON(w, status, errBody{Error: msg})
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot receives a leader's install-snapshot request: a
+// follower too far behind (or forked below) a compaction horizon gets
+// the whole snapshot file instead of record backfill.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		clusterJSON(w, http.StatusBadRequest, errBody{Error: "cluster: bad snapshot request: " + err.Error()})
+		return
+	}
+	resp, status, msg := n.applySnapshot(r.Context(), req)
 	if status != http.StatusOK {
 		w.Header().Set("Retry-After", "1")
 		clusterJSON(w, status, errBody{Error: msg})

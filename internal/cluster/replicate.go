@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -35,6 +36,23 @@ type replicateResponse struct {
 	Leader   string `json:"leader,omitempty"`
 	HaveSeq  uint64 `json:"have_seq"`
 	Rejected bool   `json:"rejected,omitempty"`
+	// NeedSnapshot asks the leader to install its snapshot instead of
+	// backfilling records: the receiver's fork point (or position) is
+	// below a compaction horizon, so the frames record-by-record
+	// reconciliation would need no longer exist.
+	NeedSnapshot bool `json:"need_snapshot,omitempty"`
+}
+
+// snapshotRequest ships a leader's whole snapshot file to a follower
+// that positional backfill cannot catch up — its position or fork
+// point is behind the leader's compaction horizon. Raw is the
+// snapshot file verbatim; ID is its content address, which the
+// follower re-derives from the bytes before committing anything.
+type snapshotRequest struct {
+	Term   uint64 `json:"term"`
+	Leader string `json:"leader"`
+	ID     string `json:"id"`
+	Raw    []byte `json:"raw"`
 }
 
 // replicateAll streams the journal to every follower, one send per
@@ -62,9 +80,22 @@ func (n *Node) replicateAll(ctx context.Context) {
 	seq := n.journal.Sequence()
 	minAcked := seq
 	for _, t := range targets {
+		if t.known && t.acked < n.journal.Base() {
+			// The records this peer needs were compacted away: no journal
+			// frame below the base exists to backfill from. Install the
+			// snapshot instead; positional replication resumes from its
+			// horizon on the next tick.
+			n.sendSnapshot(ctx, term, t.p)
+			continue
+		}
 		req := replicateRequest{Term: term, Leader: n.cfg.ID, LeaderSeq: seq, FromSeq: seq, TermStarts: starts}
 		if t.known && t.acked < seq {
 			recs, err := durable.ReadJournalRange(ctx, n.journal.Path(), t.acked, uint64(n.cfg.BatchMax))
+			if errors.Is(err, durable.ErrCompacted) {
+				// A compaction raced this tick past the peer's position.
+				n.sendSnapshot(ctx, term, t.p)
+				continue
+			}
 			if err != nil {
 				n.logger.Error("replication backfill read failed", "peer", t.p.id, "err", err)
 				continue
@@ -98,6 +129,12 @@ func (n *Node) replicateAll(ctx context.Context) {
 			n.depose(resp.Term, resp.Leader, "replication rejected by higher term")
 			return
 		}
+		if resp.NeedSnapshot {
+			// The peer's fork point is below a compaction horizon; only
+			// the snapshot file can reconcile it.
+			n.sendSnapshot(ctx, term, t.p)
+			continue
+		}
 		n.mu.Lock()
 		t.p.known, t.p.acked = true, resp.HaveSeq
 		n.mu.Unlock()
@@ -110,6 +147,121 @@ func (n *Node) replicateAll(ctx context.Context) {
 		}
 	}
 	n.metrics.Gauge("cluster.replication_lag").Set(float64(seq - minAcked))
+}
+
+// sendSnapshot ships the snapshot file to one follower that positional
+// backfill cannot reach: the frames it needs were compacted away. The
+// follower verifies the content address, commits the file, resets its
+// journal to the horizon, and acks HaveSeq = horizon — from where the
+// ordinary record stream resumes next tick.
+func (n *Node) sendSnapshot(ctx context.Context, term uint64, p *peerState) {
+	raw, id, snap, err := n.srv.Store().SnapshotRaw(ctx)
+	if err != nil {
+		n.logger.Error("snapshot read for install failed", "peer", p.id, "err", err)
+		return
+	}
+	if err := faults.FireCtx(ctx, faults.ClusterReplicate, n.cfg.ID+"→"+p.id); err != nil {
+		n.logger.Warn("snapshot send suppressed", "peer", p.id, "err", err)
+		return
+	}
+	body, err := json.Marshal(snapshotRequest{Term: term, Leader: n.cfg.ID, ID: id, Raw: raw})
+	if err != nil {
+		n.logger.Error("snapshot request marshal failed", "err", err)
+		return
+	}
+	sctx := obs.WithTraceContext(ctx, obs.TraceContext{
+		TraceID: fmt.Sprintf("%s/snap-t%d-b%06d", n.cfg.ID, term, snap.BaseSeq),
+		Via:     n.cfg.ID,
+	})
+	var resp replicateResponse
+	if err := p.client.DoJSON(sctx, http.MethodPost, "/cluster/snapshot", body, &resp); err != nil {
+		n.logger.Warn("snapshot send failed", "peer", p.id, "err", err)
+		return
+	}
+	if resp.Rejected {
+		n.depose(resp.Term, resp.Leader, "snapshot install rejected by higher term")
+		return
+	}
+	n.mu.Lock()
+	p.known, p.acked = true, resp.HaveSeq
+	n.mu.Unlock()
+	n.events.Append("snapshot", fmt.Sprintf("snapshot %s (horizon %d) installed on %s", id, snap.BaseSeq, p.id))
+	n.logger.Info("snapshot installed on follower", "peer", p.id, "base", snap.BaseSeq, "have", resp.HaveSeq)
+}
+
+// applySnapshot is the follower half of snapshot installation. Term
+// fencing mirrors applyReplicate exactly — a snapshot is just a very
+// large replication frame — and the whole function runs under applyMu
+// so no record stream interleaves with the file swap. A deposed node
+// contacted by a current-term leader rejoins inline first.
+func (n *Node) applySnapshot(ctx context.Context, req snapshotRequest) (replicateResponse, int, string) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	n.mu.Lock()
+	if n.role == RoleDeposed && req.Term >= n.term {
+		n.mu.Unlock()
+		n.rejoinLocked(ctx, req.Term, req.Leader)
+		n.mu.Lock()
+	}
+	if n.role == RoleDeposed {
+		n.mu.Unlock()
+		return replicateResponse{}, http.StatusServiceUnavailable,
+			"cluster: node is deposed; rejoining the fleet"
+	}
+	if req.Term < n.term {
+		resp := replicateResponse{Term: n.term, Leader: n.leader, Rejected: true}
+		n.mu.Unlock()
+		n.metrics.Counter("cluster.replicate_rejected").Inc()
+		n.logger.Warn("rejected stale-term snapshot install",
+			"from", req.Leader, "their_term", req.Term, "our_term", resp.Term)
+		return resp, http.StatusOK, ""
+	}
+	if req.Term == n.term && n.role == RoleLeader {
+		if req.Leader < n.cfg.ID {
+			n.mu.Unlock()
+			n.depose(req.Term, req.Leader, "same-term leader tie; lower node ID wins")
+			return replicateResponse{}, http.StatusServiceUnavailable,
+				"cluster: node is deposed; rejoining the fleet"
+		}
+		resp := replicateResponse{Term: n.term, Leader: n.cfg.ID, Rejected: true}
+		n.mu.Unlock()
+		n.metrics.Counter("cluster.replicate_rejected").Inc()
+		return resp, http.StatusOK, ""
+	}
+	if req.Term > n.term && n.role == RoleLeader {
+		n.mu.Unlock()
+		n.depose(req.Term, req.Leader, "superseded while leading")
+		return replicateResponse{}, http.StatusServiceUnavailable,
+			"cluster: node is deposed; rejoining the fleet"
+	}
+	if req.Term > n.term {
+		n.term = req.Term
+		n.metrics.Gauge("cluster.leader_term").Set(float64(req.Term))
+		n.events.Append("term", fmt.Sprintf("adopted term %d led by %s", req.Term, req.Leader))
+	}
+	n.leader = req.Leader
+	n.missed = 0
+	term := n.term
+	n.mu.Unlock()
+
+	// The store verifies the content address against the raw bytes,
+	// commits the file atomically, and resets the journal to the
+	// snapshot's horizon — everything the local log held is superseded.
+	//lint:allow heldcall applyMu serializes the snapshot install against the record stream; the fsync is the installed snapshot's durability point
+	snap, err := n.srv.Store().InstallSnapshot(ctx, req.Raw, req.ID)
+	if err != nil {
+		n.logger.Error("snapshot install failed", "from", req.Leader, "err", err)
+		return replicateResponse{}, http.StatusInternalServerError,
+			"cluster: install snapshot: " + err.Error()
+	}
+	n.mu.Lock()
+	n.termStarts = append([]termStart(nil), snap.TermStarts...)
+	n.mu.Unlock()
+	n.metrics.Counter("cluster.snapshot_installs").Inc()
+	n.events.Append("snapshot", fmt.Sprintf("installed snapshot at horizon %d from %s", snap.BaseSeq, req.Leader))
+	n.logger.Info("snapshot installed", "from", req.Leader, "base", snap.BaseSeq, "jobs", len(snap.Jobs))
+	return replicateResponse{Term: term, HaveSeq: n.journal.Sequence()}, http.StatusOK, ""
 }
 
 // applyReplicate is the follower half: terms are checked, the lease
@@ -126,10 +278,18 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	defer n.applyMu.Unlock()
 
 	n.mu.Lock()
+	if n.role == RoleDeposed && req.Term >= n.term {
+		// The fleet's current leader reached this deposed node before
+		// its own rejoin probe did: rejoin inline — demote the engine,
+		// become a follower — and process this very request as one.
+		n.mu.Unlock()
+		n.rejoinLocked(ctx, req.Term, req.Leader)
+		n.mu.Lock()
+	}
 	if n.role == RoleDeposed {
 		n.mu.Unlock()
 		return replicateResponse{}, http.StatusServiceUnavailable,
-			"cluster: node is deposed; restart to rejoin"
+			"cluster: node is deposed; rejoining the fleet"
 	}
 	if req.Term < n.term {
 		resp := replicateResponse{Term: n.term, Leader: n.leader, Rejected: true}
@@ -148,7 +308,7 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 			n.mu.Unlock()
 			n.depose(req.Term, req.Leader, "same-term leader tie; lower node ID wins")
 			return replicateResponse{}, http.StatusServiceUnavailable,
-				"cluster: node is deposed; restart to rejoin"
+				"cluster: node is deposed; rejoining the fleet"
 		}
 		resp := replicateResponse{Term: n.term, Leader: n.cfg.ID, Rejected: true}
 		n.mu.Unlock()
@@ -160,13 +320,14 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 	if req.Term > n.term && n.role == RoleLeader {
 		// Another node leads a later term: this node's journal holds its
 		// own RecTerm (and possibly more) that the new leader's log does
-		// not — a fork, and this node's engine is live on it. Step aside;
-		// the restart rejoins as a follower, whose reconciliation below
-		// then heals the forked journal.
+		// not — a fork, and this node's engine is live on it. Step aside
+		// with the journal fenced; the rejoin path (next tick, or the
+		// leader's next contact) demotes the engine and re-enters as a
+		// follower, whose reconciliation then heals the forked journal.
 		n.mu.Unlock()
 		n.depose(req.Term, req.Leader, "superseded while leading")
 		return replicateResponse{}, http.StatusServiceUnavailable,
-			"cluster: node is deposed; restart to rejoin"
+			"cluster: node is deposed; rejoining the fleet"
 	}
 	if req.Term > n.term {
 		n.term = req.Term
@@ -197,6 +358,15 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 		n.logger.Warn("local log forked from leader's; truncating",
 			"fork_at", cut, "local_seq", local, "leader", req.Leader, "term", req.Term)
 		if err := n.journal.TruncateTo(ctx, cut); err != nil {
+			if errors.Is(err, durable.ErrCompacted) {
+				// The fork point is below this node's own compaction
+				// horizon: the frames record-level reconciliation would
+				// rewind through no longer exist locally. Ask the leader
+				// for its snapshot instead.
+				n.logger.Warn("fork point below compaction horizon; requesting snapshot",
+					"fork_at", cut, "base", n.journal.Base(), "leader", req.Leader)
+				return replicateResponse{Term: term, HaveSeq: local, NeedSnapshot: true}, http.StatusOK, ""
+			}
 			n.logger.Error("fork truncation failed", "err", err)
 			return replicateResponse{}, http.StatusInternalServerError,
 				"cluster: fork truncation failed: " + err.Error()
@@ -219,7 +389,7 @@ func (n *Node) applyReplicate(ctx context.Context, req replicateRequest) (replic
 		// than guess.
 		n.depose(req.Term, req.Leader, "log diverged from leader")
 		return replicateResponse{}, http.StatusServiceUnavailable,
-			"cluster: node is deposed; restart to rejoin"
+			"cluster: node is deposed; rejoining the fleet"
 	}
 	applied := int64(0)
 	for i, rec := range req.Records {

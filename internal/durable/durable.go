@@ -41,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -48,6 +49,7 @@ import (
 // Layout of a data directory:
 //
 //	<dir>/journal.wal      the job journal
+//	<dir>/snapshot.snap    compaction snapshot (reduced state ≤ horizon)
 //	<dir>/datasets/<id>.csv    spilled dataset (canonical WriteCSV form)
 //	<dir>/datasets/<id>.json   sidecar: registry identity (DatasetMeta)
 //
@@ -69,6 +71,13 @@ var ErrBadDatasetID = errors.New("durable: dataset id is not a safe file name")
 type Store struct {
 	dir     string
 	journal *Journal
+
+	// Compaction state (snapshot.go): the installed policy plus the
+	// newest known snapshot horizon and its content address.
+	compactMu   sync.Mutex
+	policy      CompactionPolicy
+	lastSnapSeq uint64
+	lastSnapID  string
 }
 
 // Open creates (or reopens) the data directory at dir and opens its

@@ -3,6 +3,7 @@ package durable
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,21 +30,22 @@ func terminal(state string) bool {
 }
 
 // JobRecord is one job as reduced from the journal: its identity, the
-// last state the journal proves, and its accumulated checkpoints.
+// last state the journal proves, and its accumulated checkpoints. The
+// JSON tags are the snapshot serialization (snapshot.go).
 type JobRecord struct {
-	ID      string
-	IdemKey string
-	Request json.RawMessage
-	State   string
-	Error   string
+	ID      string          `json:"id"`
+	IdemKey string          `json:"idem_key,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	State   string          `json:"state"`
+	Error   string          `json:"error,omitempty"`
 	// Attempt counts how many times the job has been (re)queued after
 	// an interruption; 0 for a job on its first life.
-	Attempt int
+	Attempt int `json:"attempt,omitempty"`
 	// Checkpoints holds the latest identify checkpoint payload per
 	// completed lattice level (later records for the same level win,
 	// so a resumed attempt that re-runs a level supersedes the old
 	// snapshot).
-	Checkpoints map[int]json.RawMessage
+	Checkpoints map[int]json.RawMessage `json:"checkpoints,omitempty"`
 }
 
 // CheckpointLevels returns the checkpointed levels in ascending order.
@@ -74,9 +76,24 @@ type Table struct {
 	Replay ReplayInfo
 	// Term and Leader are the last leadership term the journal
 	// witnessed (RecTerm records, last-wins) — zero/"" for a journal
-	// that never ran in a cluster.
-	Term   uint64
-	Leader string
+	// that never ran in a cluster. TermStarts is the full term-start
+	// history (snapshot's plus the tail's RecTerm records) with
+	// absolute sequences, which the cluster layer exchanges for fork
+	// detection.
+	Term       uint64
+	Leader     string
+	TermStarts []TermStart
+	// Base is the journal's compaction horizon after recovery, and
+	// NextSeq the absolute sequence the next append receives (base +
+	// intact tail records). Recovery seeds the journal's sequence
+	// counter — and cuts a torn tail — at NextSeq, never at the raw
+	// replayed record count, which is tail-only once compaction runs.
+	Base    uint64
+	NextSeq uint64
+	// SnapshotSeq/SnapshotID describe the snapshot recovery loaded
+	// (zero/"" when the journal was complete and no snapshot existed).
+	SnapshotSeq uint64
+	SnapshotID  string
 }
 
 // Reduce folds journal records into a consistent job table. It is
@@ -86,15 +103,46 @@ type Table struct {
 // is dropped (a duplicate "done" from a crash between append and ack
 // cannot double-finish a job).
 func Reduce(recs []Record) *Table {
+	return ReduceFrom(nil, 0, recs)
+}
+
+// ReduceFrom folds a journal tail onto a snapshot's reduced state.
+// tailStart is the absolute sequence of recs[0] — the journal's
+// compaction base. Tail records below the snapshot's own horizon (the
+// crash-window overlap between a committed snapshot and a
+// not-yet-truncated journal) are already folded into snap and are
+// skipped. A nil snap reduces the records alone, which is exactly
+// Reduce.
+func ReduceFrom(snap *Snapshot, tailStart uint64, recs []Record) *Table {
 	t := &Table{}
 	byID := make(map[string]*JobRecord)
-	for _, rec := range recs {
-		t.reduceOne(byID, rec)
+	skip := uint64(0)
+	if snap != nil {
+		t.Term, t.Leader = snap.Term, snap.Leader
+		t.MaxJobSeq = snap.MaxJobSeq
+		t.Dropped = snap.Dropped
+		t.TermStarts = append(t.TermStarts, snap.TermStarts...)
+		for _, j := range snap.Jobs {
+			if byID[j.ID] != nil {
+				continue
+			}
+			byID[j.ID] = j
+			t.Jobs = append(t.Jobs, j)
+		}
+		if snap.BaseSeq > tailStart {
+			skip = snap.BaseSeq - tailStart
+		}
+	}
+	for i, rec := range recs {
+		if uint64(i) < skip {
+			continue
+		}
+		t.reduceOne(byID, tailStart+uint64(i), rec)
 	}
 	return t
 }
 
-func (t *Table) reduceOne(byID map[string]*JobRecord, rec Record) {
+func (t *Table) reduceOne(byID map[string]*JobRecord, seq uint64, rec Record) {
 	if rec.Type == RecTerm {
 		// Terms are monotone: a replicated log can only ever append a
 		// higher term, so last-wins and monotone-wins agree; keeping the
@@ -102,6 +150,8 @@ func (t *Table) reduceOne(byID map[string]*JobRecord, rec Record) {
 		if rec.Term > t.Term {
 			t.Term = rec.Term
 			t.Leader = rec.Leader
+			t.TermStarts = append(t.TermStarts,
+				TermStart{Term: rec.Term, Leader: rec.Leader, Seq: seq})
 		}
 		return
 	}
@@ -169,11 +219,34 @@ func jobSeq(id string) (int, bool) {
 	return n, true
 }
 
-// Recover replays the store's journal and reduces it to a job table,
-// under a "durable.recover" span carrying the outcome.
+// Recover loads the store's snapshot (if any), replays the journal
+// tail on top of it, and reduces both to a job table, under a
+// "durable.recover" span carrying the outcome. A torn snapshot is
+// fatal only when the journal has been compacted — the folded prefix
+// exists nowhere else; while the journal is complete from record zero
+// the snapshot is just an accelerator and damage is logged and
+// ignored. Recover also finishes a compaction a crash interrupted
+// between the snapshot commit and the prefix truncation, so positional
+// framing always matches sequence numbering when it returns.
 func (s *Store) Recover(ctx context.Context) (*Table, error) {
 	ctx, sp := obs.StartSpan(ctx, "durable.recover")
 	defer sp.End()
+	base := s.journal.Base()
+	snap, snapID, err := s.LoadSnapshot(ctx)
+	if err != nil {
+		if base > 0 {
+			sp.SetStr("err", err.Error())
+			return nil, fmt.Errorf("durable: recover: journal compacted to %d but snapshot unreadable: %w", base, err)
+		}
+		obs.LoggerFrom(ctx).Scope("durable").Warn("ignoring unreadable snapshot; journal is complete", "err", err)
+		snap = nil
+	}
+	if snap == nil && base > 0 {
+		return nil, fmt.Errorf("durable: recover: journal compacted to %d but no snapshot present", base)
+	}
+	if snap != nil && snap.BaseSeq < base {
+		return nil, fmt.Errorf("durable: recover: snapshot horizon %d is behind journal base %d; records lost", snap.BaseSeq, base)
+	}
 	var recs []Record
 	info, err := ReplayJournal(ctx, s.journal.Path(), func(rec Record) error {
 		recs = append(recs, rec)
@@ -183,11 +256,40 @@ func (s *Store) Recover(ctx context.Context) (*Table, error) {
 		sp.SetStr("err", err.Error())
 		return nil, err
 	}
-	t := Reduce(recs)
+	t := ReduceFrom(snap, base, recs)
+	t.Base = base
+	t.NextSeq = base + uint64(info.Records)
+	if snap != nil {
+		t.SnapshotSeq, t.SnapshotID = snap.BaseSeq, snapID
+		s.noteSnapshot(snap.BaseSeq, snapID)
+		if snap.BaseSeq > base {
+			// A crash interrupted Compact between the snapshot commit and
+			// the prefix truncation: the journal still holds records the
+			// snapshot already folded. Finish the truncation now so every
+			// in-file frame is again at (sequence - base).
+			if t.NextSeq < snap.BaseSeq {
+				t.NextSeq = snap.BaseSeq // tail ended inside the folded range
+			}
+			s.journal.InitSequence(t.NextSeq)
+			if base+uint64(info.Records) <= snap.BaseSeq {
+				err = s.journal.ResetToBase(ctx, snap.BaseSeq)
+			} else {
+				err = s.journal.CompactTo(ctx, snap.BaseSeq)
+			}
+			if err != nil {
+				sp.SetStr("err", err.Error())
+				return nil, fmt.Errorf("durable: recover: finish interrupted compaction: %w", err)
+			}
+			t.Base = snap.BaseSeq
+			obs.LoggerFrom(ctx).Scope("durable").Info("finished interrupted compaction",
+				"base", snap.BaseSeq)
+		}
+	}
 	t.Replay = info
 	sp.SetInt("records", int64(info.Records))
 	sp.SetInt("jobs", int64(len(t.Jobs)))
 	sp.SetInt("dropped", int64(t.Dropped))
+	sp.SetInt("base", int64(base))
 	if info.Torn {
 		sp.SetStr("torn_tail", info.Reason)
 	}
@@ -195,7 +297,7 @@ func (s *Store) Recover(ctx context.Context) (*Table, error) {
 	m.Counter("durable.jobs_recovered").Add(int64(len(t.Jobs)))
 	if lg := obs.LoggerFrom(ctx); lg.On(obs.LevelInfo) {
 		lg.Scope("durable").Info("journal recovered",
-			"records", info.Records, "jobs", len(t.Jobs),
+			"records", info.Records, "base", base, "jobs", len(t.Jobs),
 			"dropped", t.Dropped, "torn", info.Torn)
 	}
 	return t, nil

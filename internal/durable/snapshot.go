@@ -1,0 +1,390 @@
+package durable
+
+// This file is snapshot-based log compaction. A snapshot freezes the
+// reduced journal state — per-job verdicts and checkpoints, the
+// leadership term history, dataset references — at an absolute
+// sequence (the horizon), in one atomically-written, CRC-framed,
+// content-addressed file. Once a snapshot commits, the journal prefix
+// it covers is redundant and can be truncated (Journal.CompactTo);
+// recovery then loads snapshot-then-tail, and replication catches a
+// follower that is behind the horizon up by installing the snapshot
+// file wholesale instead of backfilling records that no longer exist.
+//
+// The write order is always snapshot-first, truncate-second. A crash
+// between the two leaves a snapshot that overlaps the journal, which
+// ReduceFrom resolves by skipping tail records below the snapshot's
+// horizon and Recover repairs by finishing the interrupted truncation.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// snapshotName is the snapshot file inside a data directory; like the
+// journal, there is exactly one, replaced atomically on every write.
+const snapshotName = "snapshot.snap"
+
+// snapshotMagic opens a snapshot file; one journal-style CRC frame
+// ([uint32 LE len][uint32 LE CRC][payload JSON]) follows.
+var snapshotMagic = []byte("remedySNAP1\n")
+
+// ErrSnapshotTorn reports a snapshot file that cannot be trusted:
+// short file, bad magic, checksum mismatch, or undecodable payload.
+// Whether that is fatal is the caller's call — it is when the journal
+// has been compacted (the folded prefix exists nowhere else), and
+// ignorable when the journal is still complete from record zero.
+var ErrSnapshotTorn = errors.New("durable: snapshot torn or corrupt")
+
+// TermStart marks where one leadership term begins in the replicated
+// log: the first record of term Term sits at absolute sequence Seq.
+// The cluster exchanges the full term-start history on every
+// replication request for fork detection; the snapshot carries the
+// history so it survives compaction of the RecTerm records themselves.
+type TermStart struct {
+	Term   uint64 `json:"term"`
+	Leader string `json:"leader"`
+	Seq    uint64 `json:"seq"`
+}
+
+// Snapshot is the reduced journal state at a compaction horizon:
+// everything records [0, BaseSeq) prove.
+type Snapshot struct {
+	// BaseSeq is the horizon: the absolute sequence the journal tail
+	// resumes at. Records [0, BaseSeq) are folded in here.
+	BaseSeq uint64 `json:"base_seq"`
+	// Term and Leader are the last leadership term the folded prefix
+	// witnessed; TermStarts is its full term-start history.
+	Term       uint64      `json:"term,omitempty"`
+	Leader     string      `json:"leader,omitempty"`
+	TermStarts []TermStart `json:"term_starts,omitempty"`
+	// Jobs is the reduced job table in submission order; MaxJobSeq and
+	// Dropped mirror the Table fields for the folded prefix.
+	Jobs      []*JobRecord `json:"jobs,omitempty"`
+	MaxJobSeq int          `json:"max_job_seq,omitempty"`
+	Dropped   int          `json:"dropped,omitempty"`
+	// Datasets lists the dataset IDs the folded jobs reference, sorted.
+	// Informational — recovery re-lists the spill directory — but it
+	// makes a snapshot a self-describing audit artifact.
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+// snapshotID content-addresses a snapshot payload: the address is the
+// SHA-256 of the framed JSON, so the replication install path can
+// verify end to end that the bytes it applied are the bytes the leader
+// compacted.
+func snapshotID(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "snap-" + hex.EncodeToString(sum[:])
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, snapshotName) }
+
+// WriteSnapshot atomically replaces the store's snapshot file and
+// returns the new snapshot's content address.
+func (s *Store) WriteSnapshot(ctx context.Context, snap *Snapshot) (string, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return "", fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	id := snapshotID(payload)
+	err = writeFileAtomic(s.snapshotPath(), func(w io.Writer) error {
+		if _, werr := w.Write(snapshotMagic); werr != nil {
+			return werr
+		}
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, werr := w.Write(hdr[:]); werr != nil {
+			return werr
+		}
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		return "", fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	s.noteSnapshot(snap.BaseSeq, id)
+	obs.MetricsFrom(ctx).Counter("durable.snapshots_written").Inc()
+	obs.LoggerFrom(ctx).Scope("durable").Info("snapshot written",
+		"base", snap.BaseSeq, "jobs", len(snap.Jobs), "id", id)
+	return id, nil
+}
+
+// LoadSnapshot reads the store's snapshot. A store that has never
+// snapshotted returns (nil, "", nil); damage returns ErrSnapshotTorn.
+func (s *Store) LoadSnapshot(_ context.Context) (*Snapshot, string, error) {
+	raw, err := os.ReadFile(s.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("durable: load snapshot: %w", err)
+	}
+	return DecodeSnapshot(raw)
+}
+
+// SnapshotRaw returns the snapshot file's verbatim bytes plus its
+// decoded form and content address — what the leader ships over the
+// replication install path so the follower can re-verify the address
+// end to end. A store that has never snapshotted returns
+// os.ErrNotExist.
+func (s *Store) SnapshotRaw(_ context.Context) ([]byte, string, *Snapshot, error) {
+	raw, err := os.ReadFile(s.snapshotPath())
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	snap, id, err := DecodeSnapshot(raw)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return raw, id, snap, nil
+}
+
+// DecodeSnapshot validates the raw bytes of a snapshot file (magic +
+// one CRC frame) and returns the snapshot plus its content address. It
+// is shared by local recovery and the install path, which receives the
+// file's bytes verbatim.
+func DecodeSnapshot(raw []byte) (*Snapshot, string, error) {
+	if len(raw) < len(snapshotMagic)+frameHeaderLen ||
+		!bytes.Equal(raw[:len(snapshotMagic)], snapshotMagic) {
+		return nil, "", fmt.Errorf("%w: bad header", ErrSnapshotTorn)
+	}
+	body := raw[len(snapshotMagic):]
+	n := binary.LittleEndian.Uint32(body[0:4])
+	sum := binary.LittleEndian.Uint32(body[4:8])
+	if uint64(n) > maxRecordLen || uint64(len(body)-frameHeaderLen) < uint64(n) {
+		return nil, "", fmt.Errorf("%w: short payload", ErrSnapshotTorn)
+	}
+	payload := body[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, "", fmt.Errorf("%w: checksum mismatch", ErrSnapshotTorn)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, "", fmt.Errorf("%w: undecodable payload", ErrSnapshotTorn)
+	}
+	return &snap, snapshotID(payload), nil
+}
+
+// InstallSnapshot commits raw — a complete snapshot file received from
+// a leader — after validating framing and (when wantID is non-empty)
+// the content address, then resets the journal to the snapshot's base.
+// Everything the local journal held is superseded: the leader only
+// installs on a follower whose log cannot be reconciled record by
+// record (behind the horizon, or forked below it).
+func (s *Store) InstallSnapshot(ctx context.Context, raw []byte, wantID string) (*Snapshot, error) {
+	snap, id, err := DecodeSnapshot(raw)
+	if err != nil {
+		return nil, err
+	}
+	if wantID != "" && id != wantID {
+		return nil, fmt.Errorf("durable: install snapshot: content address mismatch (got %s, want %s)", id, wantID)
+	}
+	err = writeFileAtomic(s.snapshotPath(), func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("durable: install snapshot: %w", err)
+	}
+	if err := s.journal.ResetToBase(ctx, snap.BaseSeq); err != nil {
+		return nil, err
+	}
+	s.noteSnapshot(snap.BaseSeq, id)
+	obs.MetricsFrom(ctx).Counter("durable.snapshots_installed").Inc()
+	obs.LoggerFrom(ctx).Scope("durable").Info("snapshot installed",
+		"base", snap.BaseSeq, "jobs", len(snap.Jobs), "id", id)
+	return snap, nil
+}
+
+// CompactionPolicy configures tick-driven snapshots via MaybeCompact.
+type CompactionPolicy struct {
+	// Every is the record threshold: once the journal accumulates at
+	// least Every records past the last snapshot horizon, MaybeCompact
+	// writes a new snapshot. Zero disables automatic snapshots.
+	Every uint64
+	// Truncate drops the folded journal prefix after the snapshot
+	// commits. Snapshot-only mode (false) still speeds recovery and
+	// rejoin but lets the file keep growing.
+	Truncate bool
+}
+
+// SetCompaction installs the automatic compaction policy. Call it at
+// startup, before ticking begins.
+func (s *Store) SetCompaction(p CompactionPolicy) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.policy = p
+}
+
+// noteSnapshot records the newest known snapshot horizon (monotone).
+func (s *Store) noteSnapshot(base uint64, id string) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if base >= s.lastSnapSeq {
+		s.lastSnapSeq, s.lastSnapID = base, id
+	}
+}
+
+// MaybeCompact applies the compaction policy: if the journal has grown
+// policy.Every records past the last snapshot horizon, fold the
+// prefix into a new snapshot (and truncate it, per policy). It is the
+// tick-driven entry point — cheap when below threshold — and reports
+// whether a snapshot was written.
+func (s *Store) MaybeCompact(ctx context.Context) (bool, error) {
+	s.compactMu.Lock()
+	policy, last := s.policy, s.lastSnapSeq
+	s.compactMu.Unlock()
+	if policy.Every == 0 {
+		return false, nil
+	}
+	seq := s.journal.Sequence()
+	if seq < last+policy.Every {
+		return false, nil
+	}
+	if err := s.Compact(ctx, seq, policy.Truncate); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Compact folds every record below absolute sequence upTo into the
+// snapshot and — when truncate is set — drops the folded prefix from
+// the journal file. Snapshot-first ordering makes a crash between the
+// two steps recoverable (see the package comment above).
+func (s *Store) Compact(ctx context.Context, upTo uint64, truncate bool) error {
+	ctx, sp := obs.StartSpan(ctx, "durable.compact")
+	defer sp.End()
+	base := s.journal.Base()
+	snap, _, err := s.LoadSnapshot(ctx)
+	if err != nil {
+		if base > 0 {
+			sp.SetStr("err", err.Error())
+			return fmt.Errorf("durable: compact: journal base is %d but existing snapshot is unreadable: %w", base, err)
+		}
+		// The journal is still complete from record zero, so a damaged
+		// never-needed snapshot is replaceable, not fatal.
+		obs.LoggerFrom(ctx).Scope("durable").Warn("replacing unreadable snapshot", "err", err)
+		snap = nil
+	}
+	start := base
+	if snap != nil && snap.BaseSeq > start {
+		start = snap.BaseSeq
+	}
+	if upTo > s.journal.Sequence() {
+		return fmt.Errorf("durable: compact to %d: sequence is only %d", upTo, s.journal.Sequence())
+	}
+	if upTo > start {
+		recs, err := ReadJournalRange(ctx, s.journal.Path(), start, upTo-start)
+		if err != nil {
+			return fmt.Errorf("durable: compact: %w", err)
+		}
+		if uint64(len(recs)) < upTo-start {
+			return fmt.Errorf("durable: compact to %d: journal holds only %d intact records", upTo, start+uint64(len(recs)))
+		}
+		t := ReduceFrom(snap, start, recs)
+		if _, err := s.WriteSnapshot(ctx, t.ToSnapshot(upTo)); err != nil {
+			return err
+		}
+	}
+	if truncate {
+		if err := s.journal.CompactTo(ctx, upTo); err != nil {
+			return err
+		}
+	}
+	sp.SetInt("horizon", int64(upTo))
+	return nil
+}
+
+// ToSnapshot freezes the reduced table as a snapshot at horizon base.
+// The table must have been reduced from exactly the records [0, base).
+func (t *Table) ToSnapshot(base uint64) *Snapshot {
+	return &Snapshot{
+		BaseSeq:    base,
+		Term:       t.Term,
+		Leader:     t.Leader,
+		TermStarts: append([]TermStart(nil), t.TermStarts...),
+		Jobs:       t.Jobs,
+		MaxJobSeq:  t.MaxJobSeq,
+		Dropped:    t.Dropped,
+		Datasets:   datasetRefs(t.Jobs),
+	}
+}
+
+// datasetRefs collects the sorted unique dataset IDs named by the
+// jobs' request bodies (best-effort: requests are opaque here, but the
+// serving layer's job requests carry a dataset_id field).
+func datasetRefs(jobs []*JobRecord) []string {
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		var req struct {
+			DatasetID string `json:"dataset_id"`
+		}
+		if len(j.Request) > 0 && json.Unmarshal(j.Request, &req) == nil && req.DatasetID != "" {
+			seen[req.DatasetID] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StoreStats is the compaction state surfaced in health endpoints and
+// remedyctl status: how much of the log lives in the snapshot, how
+// much has accumulated since, and how big the journal file is. Age is
+// measured in records, not wall time — the repo's determinism contract
+// extends to its health math.
+type StoreStats struct {
+	// SnapshotSeq is the newest snapshot horizon (0 = never
+	// snapshotted); SnapshotID is its content address.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	SnapshotID  string `json:"snapshot_id,omitempty"`
+	// JournalBase/JournalRecords: the file's compaction base and the
+	// absolute record count (snapshot-folded prefix + tail).
+	JournalBase    uint64 `json:"journal_base"`
+	JournalRecords uint64 `json:"journal_records"`
+	JournalBytes   int64  `json:"journal_bytes"`
+	// AgeRecords counts records appended since the snapshot horizon.
+	AgeRecords uint64 `json:"age_records"`
+}
+
+// Stats reports the current compaction state and refreshes the
+// durable.journal_bytes and durable.snapshot_age_records gauges.
+func (s *Store) Stats(ctx context.Context) StoreStats {
+	st := StoreStats{
+		JournalBase:    s.journal.Base(),
+		JournalRecords: s.journal.Sequence(),
+	}
+	s.compactMu.Lock()
+	st.SnapshotSeq, st.SnapshotID = s.lastSnapSeq, s.lastSnapID
+	s.compactMu.Unlock()
+	if fi, err := os.Stat(s.journal.Path()); err == nil {
+		st.JournalBytes = fi.Size()
+	}
+	if st.JournalRecords > st.SnapshotSeq {
+		st.AgeRecords = st.JournalRecords - st.SnapshotSeq
+	}
+	m := obs.MetricsFrom(ctx)
+	m.Gauge("durable.journal_bytes").Set(float64(st.JournalBytes))
+	m.Gauge("durable.snapshot_age_records").Set(float64(st.AgeRecords))
+	return st
+}

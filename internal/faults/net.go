@@ -1,0 +1,278 @@
+package faults
+
+// This file is the network half of the fault harness: a deterministic
+// lossy network for inter-node HTTP traffic. Where faults.Point hooks
+// fire inside one process, NetFaults sits between processes (or, in
+// tests, between httptest servers standing in for them) as an
+// http.RoundTripper that drops, delays, duplicates, or partitions
+// requests per directed node pair. Chaos tests drive it to prove the
+// cluster's claims — partition → heal → byte-identical logs, a
+// deposed node rejoining through a flaky link — without ever touching
+// a real socket option.
+//
+// Determinism is the point. Every probabilistic decision draws from
+// one injected *rand.Rand (the repo's stats.NewRNG), so a seed
+// reproduces a failure schedule exactly; there is no wall clock and
+// no ambient entropy anywhere in the layer.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand" //lint:allow determinism NetFaults draws from an injected seeded source (stats.NewRNG); no ambient entropy
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrNetDropped is the error a dropped or partitioned request surfaces
+// to the sender — indistinguishable from a dead link, which is the
+// model: the bytes never arrived, and the sender cannot know whether
+// the receiver processed anything.
+var ErrNetDropped = errors.New("faults: request dropped by injected network fault")
+
+// Rule is one directed link's fault schedule. Probabilities are in
+// [0, 1] and are evaluated per attempt against the injected RNG.
+type Rule struct {
+	// Partition blackholes the link entirely: every request errors
+	// with ErrNetDropped before any bytes move.
+	Partition bool
+	// Drop is the probability a request vanishes in flight. Like a
+	// real lost datagram it is dropped before delivery, so the
+	// receiver never sees it.
+	Drop float64
+	// Dup is the probability a request is delivered twice — the
+	// retransmission race every idempotent handler must survive. The
+	// duplicate is delivered first; its response is discarded.
+	Dup float64
+	// Delay is the probability a request is delayed in flight, by
+	// DelayFor, before delivery.
+	Delay    float64
+	DelayFor time.Duration
+}
+
+// NetFaults is a deterministic lossy network between named nodes. The
+// zero value is unusable; construct with NewNetFaults. All methods are
+// safe for concurrent use — requests race against rule changes by
+// design, exactly like packets race a partition healing.
+type NetFaults struct {
+	mu sync.Mutex
+	// rng is the single injected entropy source; guarded by mu because
+	// rand.Rand is not concurrency-safe.
+	rng *rand.Rand
+	// rules maps directed "from→to" links to their schedules.
+	rules map[string]Rule
+	// counts tallies injected events per directed link for test
+	// assertions: dropped, duplicated, delayed requests.
+	counts map[string]*Counts
+}
+
+// Counts tallies one directed link's injected events.
+type Counts struct {
+	Dropped   int
+	Duplicate int
+	Delayed   int
+}
+
+// NewNetFaults builds a fault-free network over the given RNG (use
+// stats.NewRNG for a seeded deterministic source). Until rules are
+// installed every request passes through untouched.
+func NewNetFaults(rng *rand.Rand) *NetFaults {
+	return &NetFaults{
+		rng:    rng,
+		rules:  make(map[string]Rule),
+		counts: make(map[string]*Counts),
+	}
+}
+
+func linkKey(from, to string) string { return from + "→" + to }
+
+// SetRule installs the fault schedule for the directed link from→to,
+// replacing any previous one.
+func (nf *NetFaults) SetRule(from, to string, r Rule) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.rules[linkKey(from, to)] = r
+}
+
+// Partition blackholes both directions between a and b.
+func (nf *NetFaults) Partition(a, b string) {
+	nf.PartitionOneWay(a, b)
+	nf.PartitionOneWay(b, a)
+}
+
+// PartitionOneWay blackholes the directed link from→to only — the
+// asymmetric failure (a half-broken switch port) that breaks naive
+// "if I can reach them they can reach me" assumptions.
+func (nf *NetFaults) PartitionOneWay(from, to string) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	r := nf.rules[linkKey(from, to)]
+	r.Partition = true
+	nf.rules[linkKey(from, to)] = r
+}
+
+// Heal clears the partition bit in both directions between a and b,
+// leaving any probabilistic faults (drop/dup/delay) in place — a link
+// can come back flaky, which is how links actually come back.
+func (nf *NetFaults) Heal(a, b string) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	for _, k := range []string{linkKey(a, b), linkKey(b, a)} {
+		r := nf.rules[k]
+		r.Partition = false
+		nf.rules[k] = r
+	}
+}
+
+// HealAll removes every rule: the network is perfect again.
+func (nf *NetFaults) HealAll() {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.rules = make(map[string]Rule)
+}
+
+// CountsFor returns a copy of the event tally for the directed link.
+func (nf *NetFaults) CountsFor(from, to string) Counts {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if c := nf.counts[linkKey(from, to)]; c != nil {
+		return *c
+	}
+	return Counts{}
+}
+
+// decide rolls the link's schedule for one request and tallies what it
+// injects. It returns whether to drop, whether to deliver a duplicate
+// first, and how long to delay delivery.
+func (nf *NetFaults) decide(from, to string) (drop, dup bool, delay time.Duration) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	r, ok := nf.rules[linkKey(from, to)]
+	if !ok {
+		return false, false, 0
+	}
+	c := nf.counts[linkKey(from, to)]
+	if c == nil {
+		c = &Counts{}
+		nf.counts[linkKey(from, to)] = c
+	}
+	if r.Partition {
+		c.Dropped++
+		return true, false, 0
+	}
+	if r.Drop > 0 && nf.rng.Float64() < r.Drop {
+		c.Dropped++
+		return true, false, 0
+	}
+	if r.Dup > 0 && nf.rng.Float64() < r.Dup {
+		c.Duplicate = c.Duplicate + 1
+		dup = true
+	}
+	if r.Delay > 0 && nf.rng.Float64() < r.Delay {
+		c.Delayed++
+		delay = r.DelayFor
+	}
+	return false, dup, delay
+}
+
+// netTransport is the injectable RoundTripper: it resolves the target
+// node from the request URL's host, rolls the link's schedule, and
+// forwards (or refuses) accordingly.
+type netTransport struct {
+	nf   *NetFaults
+	from string
+	// hosts maps request URL hosts ("127.0.0.1:43817") to node IDs.
+	hosts map[string]string
+	// next performs the real delivery; nil means
+	// http.DefaultTransport.
+	next http.RoundTripper
+}
+
+// Transport returns an http.RoundTripper that subjects every request
+// from the named node to the network's fault schedules. hosts maps
+// request URL hosts to receiver node IDs (for httptest servers, the
+// listener's host:port); requests to unmapped hosts pass through
+// untouched. next is the real transport (nil = http.DefaultTransport).
+func (nf *NetFaults) Transport(from string, hosts map[string]string, next http.RoundTripper) http.RoundTripper {
+	h := make(map[string]string, len(hosts))
+	for host, id := range hosts {
+		h[host] = id
+	}
+	return &netTransport{nf: nf, from: from, hosts: h, next: next}
+}
+
+// Client wraps Transport in an *http.Client, the form the cluster's
+// Config.HTTP field takes.
+func (nf *NetFaults) Client(from string, hosts map[string]string, next http.RoundTripper) *http.Client {
+	return &http.Client{Transport: nf.Transport(from, hosts, next)}
+}
+
+func (t *netTransport) real() http.RoundTripper {
+	if t.next != nil {
+		return t.next
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip applies the link's schedule to one request. A duplicated
+// request is delivered twice sequentially — duplicate first, its
+// response discarded — modelling a retransmission the receiver must
+// deduplicate. Delays happen before delivery, like queueing in a
+// congested link.
+func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to, ok := t.hosts[req.URL.Host]
+	if !ok {
+		return t.real().RoundTrip(req)
+	}
+	drop, dup, delay := t.nf.decide(t.from, to)
+	if drop {
+		return nil, fmt.Errorf("%w: %s→%s %s %s", ErrNetDropped, t.from, to, req.Method, req.URL.Path)
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if !dup || req.Body == nil {
+		if dup {
+			// A bodiless request duplicates by simply sending twice.
+			if resp, err := t.real().RoundTrip(cloneRequest(req, nil)); err == nil {
+				drain(resp)
+			}
+		}
+		return t.real().RoundTrip(req)
+	}
+	// Duplicating a request with a body needs the bytes twice.
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Body.Close(); err != nil {
+		return nil, err
+	}
+	if resp, err := t.real().RoundTrip(cloneRequest(req, body)); err == nil {
+		drain(resp)
+	}
+	return t.real().RoundTrip(cloneRequest(req, body))
+}
+
+// cloneRequest copies req with the given body (nil for bodiless).
+func cloneRequest(req *http.Request, body []byte) *http.Request {
+	c := req.Clone(req.Context())
+	if body != nil {
+		c.Body = io.NopCloser(bytes.NewReader(body))
+		c.ContentLength = int64(len(body))
+	}
+	return c
+}
+
+// drain discards a duplicate delivery's response so the underlying
+// connection is reusable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body) //lint:allow errdiscard duplicate delivery's response is discarded by design
+	_ = resp.Body.Close()                 //lint:allow errdiscard duplicate delivery's response is discarded by design
+}

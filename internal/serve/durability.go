@@ -76,6 +76,19 @@ func (s *Server) Promote(ctx context.Context) error {
 	return nil
 }
 
+// Demote is Promote's inverse, run when the cluster deposes this node
+// while it is still alive: the engine forgets every job, cancels
+// running work, and drains its queue — without journaling anything,
+// because the cluster fences the journal before calling Demote and the
+// new leader's replicated log supersedes whatever this node was doing.
+// The engine itself stays up (workers, cache, registry), so the node
+// can re-enter as a follower and even be promoted again later, all
+// without a process restart. The caller owns the readiness reason.
+func (s *Server) Demote(ctx context.Context) {
+	dropped := s.engine.demote()
+	obs.LoggerFrom(ctx).Scope("serve").Info("engine demoted for rejoin", "jobs_dropped", dropped)
+}
+
 // recoverInto is the shared recovery walk. restoreJobs selects the
 // full mode (jobs restored, recovery records appended) versus the
 // standby mode (bookkeeping only, nothing appended).
@@ -96,18 +109,20 @@ func (s *Server) recoverInto(ctx context.Context, restoreJobs bool) error {
 	}
 	s.engine.setSeq(tbl.MaxJobSeq)
 	s.recTerm, s.recLeader = tbl.Term, tbl.Leader
+	s.recTermStarts = append([]durable.TermStart(nil), tbl.TermStarts...)
 	sp.SetInt("jobs", int64(len(tbl.Jobs)))
 	if tbl.Replay.Torn {
 		s.logger.Warn("journal tail damaged; recovering the proven prefix",
-			"records", tbl.Replay.Records, "reason", tbl.Replay.Reason)
+			"records", tbl.NextSeq, "reason", tbl.Replay.Reason)
 		// Cut the damaged bytes before any new append lands behind them:
 		// an append after a torn tail would be unreadable on the next
 		// replay, silently shortening the journal's proven history.
-		if err := s.store.Journal().TruncateTo(ctx, uint64(tbl.Replay.Records)); err != nil {
+		// NextSeq is absolute (snapshot-folded prefix + intact tail).
+		if err := s.store.Journal().TruncateTo(ctx, tbl.NextSeq); err != nil {
 			return fmt.Errorf("serve: cut torn journal tail: %w", err)
 		}
 	}
-	s.store.Journal().InitSequence(uint64(tbl.Replay.Records))
+	s.store.Journal().InitSequence(tbl.NextSeq)
 
 	if !restoreJobs {
 		s.logger.Info("standby recovery complete",

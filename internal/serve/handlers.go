@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -415,6 +416,10 @@ func (s *Server) health() Health {
 		}
 	}
 	h.Tenants = s.engine.queue.tenantHealth()
+	if s.store != nil {
+		st := s.store.Stats(obs.WithMetrics(context.Background(), s.metrics))
+		h.Store = &st
+	}
 	return h
 }
 

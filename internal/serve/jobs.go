@@ -1066,6 +1066,67 @@ func (e *engine) running(delta int) int {
 	return e.seqRunning
 }
 
+// demote quiesces the engine for a live deposed-node rejoin: every
+// known job is forgotten, running work is cancelled, the queue is
+// drained — but the workers stay up and intake stays open, so a later
+// Promote can rebuild state from the re-replicated journal on the same
+// engine. Nothing is journaled: the caller has already fenced the
+// journal (a deposed node's originated appends must never land), and
+// any forked suffix these jobs sat on is about to be truncated or
+// snapshot-replaced by the new leader's stream — the fleet's journal
+// owns their fate now. Returns the number of live jobs dropped.
+func (e *engine) demote() int {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0
+	}
+	jobs := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.jobs = make(map[string]*job)
+	e.order = nil
+	e.idem = make(map[string]*job)
+	e.idemOrder = nil
+	e.mu.Unlock()
+	dropped := 0
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch {
+		case j.state.Terminal():
+			// History only; nothing to unwind.
+		case j.state == StateRunning && j.cancel != nil:
+			// The worker unwinds via its cancelled context. Its final
+			// append hits the fence, so the outcome degrades to a local
+			// failure and can never be acked from this deposed node.
+			j.cancelWant = true
+			j.cancel()
+			dropped++
+		default:
+			// Queued, mid-admission, or stolen-out with no local worker:
+			// finish locally without a journal record. The fence forbids
+			// the append, and the record would sit on a superseded suffix
+			// anyway — the new leader's log decides what became of the job.
+			//lint:allow journalgate deposed-node demotion is local-only by design: the journal is fenced and the new leader's replicated log supersedes these jobs' state
+			j.finishLocked(StateCancelled, "node demoted; rejoining the fleet")
+			e.accountFinish(j.tenant, StateCancelled)
+			dropped++
+		}
+		j.mu.Unlock()
+	}
+	// Empty the tenant FIFOs so stale (now-terminal) entries don't hold
+	// per-tenant depth against jobs a later Promote restores. Workers
+	// racing this drain just skip the terminal jobs they pop.
+	for {
+		if _, ok := e.queue.tryPop(); !ok {
+			break
+		}
+	}
+	e.metrics.Counter("serve.jobs_demoted").Add(int64(dropped))
+	return dropped
+}
+
 // Shutdown stops intake, discards the queue (those jobs go
 // cancelled), and waits for running jobs to drain. If ctx expires
 // first the engine cancels its base context — every running job stops

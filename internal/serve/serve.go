@@ -200,9 +200,12 @@ type Server struct {
 	fwdSeq atomic.Int64
 
 	// recTerm/recLeader are the last leadership term the journal
-	// witnessed, captured during recovery for the cluster bootstrap.
-	recTerm   uint64
-	recLeader string
+	// witnessed, captured during recovery for the cluster bootstrap;
+	// recTermStarts is the full term-start history (snapshot + tail),
+	// which the cluster exchanges for fork detection.
+	recTerm       uint64
+	recLeader     string
+	recTermStarts []durable.TermStart
 }
 
 // newServer builds the registry and engine without starting workers.
@@ -299,6 +302,15 @@ func (s *Server) NodeID() string { return s.cfg.NodeID }
 // journal witnessed, captured at recovery — the cluster bootstrap's
 // starting point. Zero/"" for a journal that never ran in a cluster.
 func (s *Server) RecoveredTerm() (uint64, string) { return s.recTerm, s.recLeader }
+
+// RecoveredTermStarts returns the journal's full term-start history as
+// recovery reconstructed it — snapshot-carried entries plus the tail's
+// RecTerm records, with absolute sequences. The cluster seeds its fork
+// detection from this instead of re-scanning the journal file, which
+// after compaction no longer holds the early RecTerm records.
+func (s *Server) RecoveredTermStarts() []durable.TermStart {
+	return append([]durable.TermStart(nil), s.recTermStarts...)
+}
 
 // SetCluster attaches the cluster view. Call once, before the handler
 // serves traffic.

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -273,6 +274,11 @@ type Health struct {
 	// tenant with its weight/quota and lifetime accounting, in
 	// deterministic registration order.
 	Tenants []TenantHealth `json:"tenants,omitempty"`
+
+	// Store is the durable compaction picture — snapshot horizon and
+	// content address, journal base/size, records accumulated since the
+	// last snapshot — present when the node runs on a durable store.
+	Store *durable.StoreStats `json:"store,omitempty"`
 }
 
 // NodeObs is one node's observability snapshot inside a fleet view:

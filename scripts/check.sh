@@ -55,6 +55,19 @@ go vet ./internal/cluster/...
 go test -race -count=1 ./internal/cluster/
 go test -race -count=1 -run 'Cluster' ./cmd/remedyd/
 
+echo "== chaos: network faults + kill-switch suite (make chaos-check)"
+# The fault-injection gate: the deterministic lossy network
+# (drop/dup/delay/partition per directed link, seeded schedules) and
+# every chaos scenario built on it — partition → heal → byte-identical
+# journals, asymmetric partition during a steal, compaction racing
+# replication, and the live-rejoin headline (a deposed node behind the
+# compaction horizon rejoins through a flaky link via snapshot
+# install, without a restart, and the fleet's IBS stays byte-identical
+# to a single-node run).
+go test -race -count=1 ./internal/faults/
+go test -race -count=1 -run 'Chaos|Deposed|NetFaults' \
+    ./internal/cluster/ ./internal/serve/
+
 echo "== fleet observability: stitched trace + federation (make obs-fleet-check)"
 # A three-node fleet steals a job: the leader's per-job trace must be
 # one stitched timeline with spans from every participating node ID
